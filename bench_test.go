@@ -1,0 +1,439 @@
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation. Each benchmark regenerates its artifact — the same
+// computation `cmd/evalstudy` prints — and reports the headline numbers
+// as custom metrics, so `go test -bench=.` both times the pipeline and
+// reproduces the study. Traces are generated once and shared through a
+// package-level runner; the measured work is reduction, reconstruction,
+// analysis and comparison.
+package repro
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/trace"
+)
+
+var (
+	runnerOnce sync.Once
+	runner     *eval.Runner
+)
+
+// sharedRunner returns a process-wide runner with every workload trace
+// pre-generated, so per-benchmark timings measure evaluation, not
+// workload simulation.
+func sharedRunner(b *testing.B) *eval.Runner {
+	b.Helper()
+	runnerOnce.Do(func() {
+		runner = eval.NewRunner()
+		for _, name := range eval.AllNames() {
+			if _, err := runner.Diagnosis(name); err != nil {
+				panic("bench: generating " + name + ": " + err.Error())
+			}
+		}
+	})
+	return runner
+}
+
+// runCells evaluates a grid once and fails the benchmark on error.
+func runCells(b *testing.B, cells []eval.Cell) []*eval.Result {
+	b.Helper()
+	r := sharedRunner(b)
+	results, err := r.RunGrid(cells)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return results
+}
+
+// meanMetrics reports grid-wide means as benchmark metrics.
+func meanMetrics(b *testing.B, results []*eval.Result) {
+	var pct, degree, dist float64
+	retained := 0
+	for _, r := range results {
+		pct += r.PctSize
+		degree += r.Degree
+		dist += float64(r.ApproxDist)
+		if r.Retained {
+			retained++
+		}
+	}
+	n := float64(len(results))
+	b.ReportMetric(pct/n, "%size")
+	b.ReportMetric(degree/n, "degree")
+	b.ReportMetric(dist/n, "apxdist-us")
+	b.ReportMetric(float64(retained), "retained")
+}
+
+// BenchmarkFig05_SizeAndMatching regenerates Figure 5: reduced file size
+// percentage and degree of matching for every workload × method at the
+// default thresholds. Sub-benchmarks isolate each method's column.
+func BenchmarkFig05_SizeAndMatching(b *testing.B) {
+	for _, method := range core.MethodNames {
+		b.Run(method, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				results := runCells(b, eval.GridDefault(eval.AllNames(), []string{method}))
+				if i == b.N-1 {
+					meanMetrics(b, results)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig06_ApproxDistance regenerates Figure 6: the 90th-percentile
+// timestamp error per workload × method at default thresholds.
+func BenchmarkFig06_ApproxDistance(b *testing.B) {
+	for _, method := range core.MethodNames {
+		b.Run(method, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				results := runCells(b, eval.GridDefault(eval.AllNames(), []string{method}))
+				if i == b.N-1 {
+					var worst float64
+					for _, r := range results {
+						if d := float64(r.ApproxDist); d > worst {
+							worst = d
+						}
+					}
+					b.ReportMetric(worst, "max-apxdist-us")
+					meanMetrics(b, results)
+				}
+			}
+		})
+	}
+}
+
+// benchTrendChart regenerates one of the paper's trend-chart figures
+// (Figures 7 and 8): every method's reconstruction of one workload,
+// rendered side by side with the full-trace diagnosis.
+func benchTrendChart(b *testing.B, workload string) {
+	for i := 0; i < b.N; i++ {
+		r := sharedRunner(b)
+		results := runCells(b, eval.GridDefault([]string{workload}, core.MethodNames))
+		ix := eval.NewIndex(results)
+		chart, err := eval.FormatTrendChart(r, ix, workload, core.MethodNames)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(chart) == 0 {
+			b.Fatal("empty chart")
+		}
+		if i == b.N-1 {
+			meanMetrics(b, results)
+		}
+	}
+}
+
+// BenchmarkFig07_DynLoadTrends regenerates Figure 7 (dyn_load_balance).
+func BenchmarkFig07_DynLoadTrends(b *testing.B) { benchTrendChart(b, "dyn_load_balance") }
+
+// BenchmarkFig08_InterferenceTrends regenerates Figure 8 (1to1r_1024).
+func BenchmarkFig08_InterferenceTrends(b *testing.B) { benchTrendChart(b, "1to1r_1024") }
+
+// benchSweep regenerates a threshold-sweep figure: one method over a
+// workload set at every threshold in its §5.1 grid, with sub-benchmarks
+// per threshold.
+func benchSweep(b *testing.B, method string, workloads []string) {
+	for _, t := range core.ThresholdSweep(method) {
+		b.Run(method+"/"+thresholdLabel(method, t), func(b *testing.B) {
+			var cells []eval.Cell
+			for _, w := range workloads {
+				cells = append(cells, eval.Cell{Workload: w, Method: method, Threshold: t})
+			}
+			for i := 0; i < b.N; i++ {
+				results := runCells(b, cells)
+				if i == b.N-1 {
+					meanMetrics(b, results)
+				}
+			}
+		})
+	}
+}
+
+func thresholdLabel(method string, t float64) string {
+	switch method {
+	case "absDiff":
+		switch {
+		case t >= 1e6:
+			return "1e6"
+		case t >= 1e5:
+			return "1e5"
+		case t >= 1e4:
+			return "1e4"
+		case t >= 1e3:
+			return "1e3"
+		case t >= 1e2:
+			return "1e2"
+		default:
+			return "1e1"
+		}
+	case "iter_k":
+		switch t {
+		case 1:
+			return "k1"
+		case 10:
+			return "k10"
+		case 50:
+			return "k50"
+		case 100:
+			return "k100"
+		case 500:
+			return "k500"
+		default:
+			return "k1000"
+		}
+	default:
+		switch t {
+		case 0.1:
+			return "t0.1"
+		case 0.2:
+			return "t0.2"
+		case 0.4:
+			return "t0.4"
+		case 0.6:
+			return "t0.6"
+		case 0.8:
+			return "t0.8"
+		default:
+			return "t1.0"
+		}
+	}
+}
+
+// Figures 9-16: threshold sweeps over the 16 benchmark traces.
+
+func BenchmarkFig09_RelDiffSweep(b *testing.B)   { benchSweep(b, "relDiff", eval.BenchmarkNames()) }
+func BenchmarkFig10_AbsDiffSweep(b *testing.B)   { benchSweep(b, "absDiff", eval.BenchmarkNames()) }
+func BenchmarkFig11_ManhattanSweep(b *testing.B) { benchSweep(b, "manhattan", eval.BenchmarkNames()) }
+func BenchmarkFig12_EuclideanSweep(b *testing.B) { benchSweep(b, "euclidean", eval.BenchmarkNames()) }
+func BenchmarkFig13_ChebyshevSweep(b *testing.B) { benchSweep(b, "chebyshev", eval.BenchmarkNames()) }
+func BenchmarkFig14_IterKSweep(b *testing.B)     { benchSweep(b, "iter_k", eval.BenchmarkNames()) }
+func BenchmarkFig15_AvgWaveSweep(b *testing.B)   { benchSweep(b, "avgWave", eval.BenchmarkNames()) }
+func BenchmarkFig16_HaarWaveSweep(b *testing.B)  { benchSweep(b, "haarWave", eval.BenchmarkNames()) }
+
+// Figures 17-19: threshold sweeps over the two Sweep3D runs, grouped as
+// in the paper's appendix.
+
+func BenchmarkFig17_Sweep3dSweepA(b *testing.B) {
+	for _, m := range []string{"relDiff", "absDiff", "manhattan"} {
+		benchSweep(b, m, eval.ApplicationNames())
+	}
+}
+
+func BenchmarkFig18_Sweep3dSweepB(b *testing.B) {
+	for _, m := range []string{"euclidean", "chebyshev", "iter_k"} {
+		benchSweep(b, m, eval.ApplicationNames())
+	}
+}
+
+func BenchmarkFig19_Sweep3dSweepC(b *testing.B) {
+	for _, m := range []string{"avgWave", "haarWave"} {
+		benchSweep(b, m, eval.ApplicationNames())
+	}
+}
+
+// benchTable regenerates one appendix retention table's default-threshold
+// column: every method's verdict for one workload (the full threshold
+// grid is `cmd/evalstudy -table N`). The reported "retained" metric is
+// the number of methods (of 9) that keep the workload's trends.
+func benchTable(b *testing.B, workload string) {
+	for i := 0; i < b.N; i++ {
+		results := runCells(b, eval.GridDefault([]string{workload}, core.MethodNames))
+		if i == b.N-1 {
+			meanMetrics(b, results)
+		}
+	}
+}
+
+// Tables 1-18, in the paper's appendix order.
+
+func BenchmarkTable01_DynLoadBalance(b *testing.B) { benchTable(b, "dyn_load_balance") }
+func BenchmarkTable02_EarlyGather(b *testing.B)    { benchTable(b, "early_gather") }
+func BenchmarkTable03_ImbalanceAtBarrier(b *testing.B) {
+	benchTable(b, "imbalance_at_mpi_barrier")
+}
+func BenchmarkTable04_LateBroadcast(b *testing.B) { benchTable(b, "late_broadcast") }
+func BenchmarkTable05_LateReceiver(b *testing.B)  { benchTable(b, "late_receiver") }
+func BenchmarkTable06_LateSender(b *testing.B)    { benchTable(b, "late_sender") }
+func BenchmarkTable07_Nto1_32(b *testing.B)       { benchTable(b, "Nto1_32") }
+func BenchmarkTable08_NtoN_32(b *testing.B)       { benchTable(b, "NtoN_32") }
+func BenchmarkTable09_1toN_32(b *testing.B)       { benchTable(b, "1toN_32") }
+func BenchmarkTable10_1to1r_32(b *testing.B)      { benchTable(b, "1to1r_32") }
+func BenchmarkTable11_1to1s_32(b *testing.B)      { benchTable(b, "1to1s_32") }
+func BenchmarkTable12_Nto1_1024(b *testing.B)     { benchTable(b, "Nto1_1024") }
+func BenchmarkTable13_NtoN_1024(b *testing.B)     { benchTable(b, "NtoN_1024") }
+func BenchmarkTable14_1toN_1024(b *testing.B)     { benchTable(b, "1toN_1024") }
+func BenchmarkTable15_1to1r_1024(b *testing.B)    { benchTable(b, "1to1r_1024") }
+func BenchmarkTable16_1to1s_1024(b *testing.B)    { benchTable(b, "1to1s_1024") }
+func BenchmarkTable17_Sweep3d8p(b *testing.B)     { benchTable(b, "sweep3d_8p") }
+func BenchmarkTable18_Sweep3d32p(b *testing.B)    { benchTable(b, "sweep3d_32p") }
+
+// BenchmarkAblationMinkowskiOrder sweeps the Minkowski order beyond the
+// paper's {1, 2, ∞} on one irregular workload — the design-choice
+// ablation DESIGN.md calls out: higher orders converge to Chebyshev's
+// merge-moderate-differences behaviour.
+func BenchmarkAblationMinkowskiOrder(b *testing.B) {
+	r := sharedRunner(b)
+	full, err := r.Trace("1to1s_1024")
+	if err != nil {
+		b.Fatal(err)
+	}
+	fullDiag, err := r.Diagnosis("1to1s_1024")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, m := range []int{1, 2, 3, 4} {
+		b.Run(fmt.Sprintf("order%d", m), func(b *testing.B) {
+			p, err := core.NewMinkowski(m, 0.2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				red, err := core.Reduce(full, p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == b.N-1 {
+					res, err := eval.EvaluateReduced(full, fullDiag, red)
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.ReportMetric(res.PctSize, "%size")
+					b.ReportMetric(float64(res.ApproxDist), "apxdist-us")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationSamplingVsIterK compares the paper's future-work
+// method (systematic segment sampling) with iter_k at matched data
+// volume on the drifting workload where their biases differ most.
+func BenchmarkAblationSamplingVsIterK(b *testing.B) {
+	r := sharedRunner(b)
+	full, err := r.Trace("dyn_load_balance")
+	if err != nil {
+		b.Fatal(err)
+	}
+	fullDiag, err := r.Diagnosis("dyn_load_balance")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name      string
+		method    string
+		threshold float64
+	}{
+		{"iter_k10", "iter_k", 10},
+		{"sample_n6", "sample_n", 6}, // ~64/6 ≈ 10 kept per class
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := eval.Evaluate(full, fullDiag, tc.method, tc.threshold)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == b.N-1 {
+					b.ReportMetric(res.PctSize, "%size")
+					b.ReportMetric(float64(res.ApproxDist), "apxdist-us")
+					retained := 0.0
+					if res.Retained {
+						retained = 1
+					}
+					b.ReportMetric(retained, "retained")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPipelineStages breaks the core pipeline into its stages for
+// one mid-size workload, the numbers a user tuning the library cares
+// about: reduce, encode, reconstruct, analyze.
+func BenchmarkPipelineStages(b *testing.B) {
+	r := sharedRunner(b)
+	full, err := r.Trace("NtoN_32")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("reduce/avgWave", func(b *testing.B) {
+		p, _ := core.NewMethod("avgWave", 0.2)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Reduce(full, p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("reduce/relDiff", func(b *testing.B) {
+		p, _ := core.NewMethod("relDiff", 0.8)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Reduce(full, p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	p, _ := core.NewMethod("avgWave", 0.2)
+	red, err := core.Reduce(full, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("encode", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			core.EncodedReducedSize(red)
+		}
+	})
+	b.Run("reconstruct", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := red.Reconstruct(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationInterProcessClustering exercises the related-work
+// axis the paper is orthogonal to (§2: Nickolayev/Lee): cluster the 32
+// ranks of an interference run by execution profile, keep one
+// representative trace per cluster, and compose with intra-process
+// avgWave reduction. Reported metrics: combined size percentage and the
+// clustering's profile RMS error.
+func BenchmarkAblationInterProcessClustering(b *testing.B) {
+	r := sharedRunner(b)
+	full, err := r.Trace("NtoN_1024")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, k := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("k%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cred, err := cluster.Reduce(full, k)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i != b.N-1 {
+					continue
+				}
+				// Compose: intra-process reduce the representative subset.
+				sub := &trace.Trace{Name: full.Name, Ranks: cred.Representatives}
+				p, _ := core.NewMethod("avgWave", 0.2)
+				ired, err := core.Reduce(sub, p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				fullBytes := trace.EncodedSize(full)
+				combined := core.EncodedReducedSize(ired) + int64(4*len(cred.Clustering.Assign))
+				b.ReportMetric(100*float64(combined)/float64(fullBytes), "%size-combined")
+				b.ReportMetric(100*float64(cred.EncodedSize())/float64(fullBytes), "%size-cluster-only")
+				b.ReportMetric(cluster.ProfileError(full, cred), "profile-rms")
+			}
+		})
+	}
+}

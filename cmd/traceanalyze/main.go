@@ -1,0 +1,51 @@
+// Command traceanalyze runs the EXPERT-style pattern analysis over a
+// trace file and prints the CUBE-style severity chart plus the raw
+// per-rank severities.
+//
+// Usage:
+//
+//	traceanalyze -in late_sender.trc
+//	traceanalyze -in late_sender.trc -min 0.05
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/tracered"
+)
+
+func main() {
+	in := flag.String("in", "", "input trace file")
+	min := flag.Float64("min", 0.02, "hide chart rows below this fraction of the max severity")
+	raw := flag.Bool("raw", false, "also print raw per-rank severities")
+	flag.Parse()
+
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "traceanalyze: -in is required")
+		os.Exit(2)
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "traceanalyze:", err)
+		os.Exit(1)
+	}
+	t, err := tracered.ReadTrace(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "traceanalyze: reading trace:", err)
+		os.Exit(1)
+	}
+	d, err := tracered.Analyze(t)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "traceanalyze:", err)
+		os.Exit(1)
+	}
+	fmt.Print(tracered.Chart(d, *min))
+	if *raw {
+		for _, k := range d.Keys() {
+			fmt.Printf("%-40s total=%12.0f ranks=%v\n", k, d.Total(k), d.Sev[k])
+		}
+	}
+}

@@ -1,0 +1,58 @@
+// Command tracegen generates the full event trace of one of the study's
+// workloads and writes it to a file in the binary trace format.
+//
+// Usage:
+//
+//	tracegen -workload late_sender -o late_sender.trc
+//	tracegen -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/tracered"
+)
+
+func main() {
+	workload := flag.String("workload", "", "workload name (see -list)")
+	out := flag.String("o", "", "output file (default <workload>.trc)")
+	list := flag.Bool("list", false, "list available workloads and exit")
+	flag.Parse()
+
+	if *list {
+		for _, name := range tracered.WorkloadNames() {
+			fmt.Println(name)
+		}
+		return
+	}
+	if *workload == "" {
+		fmt.Fprintln(os.Stderr, "tracegen: -workload is required (try -list)")
+		os.Exit(2)
+	}
+	if *out == "" {
+		*out = *workload + ".trc"
+	}
+	t, err := tracered.GenerateWorkload(*workload)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+	if err := tracered.WriteTrace(f, t); err != nil {
+		f.Close()
+		fmt.Fprintln(os.Stderr, "tracegen: writing trace:", err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen: closing:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s: %d ranks, %d events, %d bytes -> %s\n",
+		*workload, t.NumRanks(), t.NumEvents(), tracered.TraceSize(t), *out)
+}

@@ -1,0 +1,102 @@
+// Command tracereduce reduces a trace file with one of the nine
+// similarity methods and writes the reduced trace, reporting the study's
+// size and matching criteria.
+//
+// Usage:
+//
+//	tracereduce -in late_sender.trc -method avgWave -threshold 0.2 -out late_sender.trr
+//	tracereduce -in late_sender.trc -method iter_k -threshold 10 -verify
+//
+// With -verify the tool also reconstructs the trace and reports the
+// approximation distance and trend retention, the remaining two criteria.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/tracered"
+)
+
+func main() {
+	in := flag.String("in", "", "input trace file (from tracegen)")
+	out := flag.String("out", "", "output reduced-trace file (optional)")
+	method := flag.String("method", "avgWave", "similarity method")
+	threshold := flag.Float64("threshold", -1, "match threshold (default: the paper's per-method default)")
+	verify := flag.Bool("verify", false, "also reconstruct and score error/trend retention")
+	flag.Parse()
+
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "tracereduce: -in is required")
+		os.Exit(2)
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracereduce:", err)
+		os.Exit(1)
+	}
+	full, err := tracered.ReadTrace(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracereduce: reading trace:", err)
+		os.Exit(1)
+	}
+	if *threshold < 0 {
+		t, ok := tracered.DefaultThresholds[*method]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "tracereduce: unknown method %q\n", *method)
+			os.Exit(2)
+		}
+		*threshold = t
+	}
+	m, err := tracered.NewMethod(*method, *threshold)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracereduce:", err)
+		os.Exit(1)
+	}
+	red, err := tracered.Reduce(full, m)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracereduce:", err)
+		os.Exit(1)
+	}
+	fullBytes := tracered.TraceSize(full)
+	redBytes := tracered.ReducedSize(red)
+	fmt.Printf("%s + %s(t=%g): %d -> %d bytes (%.2f%%), degree of matching %.3f, %d stored segments\n",
+		full.Name, *method, *threshold, fullBytes, redBytes,
+		100*float64(redBytes)/float64(fullBytes), red.DegreeOfMatching(), red.StoredSegments())
+
+	if *out != "" {
+		g, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracereduce:", err)
+			os.Exit(1)
+		}
+		if err := tracered.WriteReduced(g, red); err != nil {
+			g.Close()
+			fmt.Fprintln(os.Stderr, "tracereduce: writing:", err)
+			os.Exit(1)
+		}
+		if err := g.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "tracereduce: closing:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", *out)
+	}
+	if *verify {
+		res, err := tracered.Score(full, red)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracereduce: scoring:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("approximation distance (90th pct): %d time units\n", res.ApproxDist)
+		if res.Retained {
+			fmt.Println("performance trends: retained")
+		} else {
+			fmt.Println("performance trends: LOST")
+			for _, issue := range res.Issues {
+				fmt.Println("  -", issue)
+			}
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package ats
+
+// jitter is a deterministic xorshift64 generator used to give compute
+// phases the small run-to-run measurement variation real traces exhibit
+// (cache effects, TLB misses, clock quantization). Determinism keeps
+// generated traces reproducible across runs and platforms.
+type jitter struct{ state uint64 }
+
+// newJitter seeds a per-rank stream from the benchmark name and rank so
+// ranks do not vary in lockstep.
+func newJitter(name string, rank int) *jitter {
+	s := uint64(14695981039346656037) // FNV offset basis
+	for i := 0; i < len(name); i++ {
+		s ^= uint64(name[i])
+		s *= 1099511628211
+	}
+	s ^= uint64(rank+1) * 0x9e3779b97f4a7c15
+	if s == 0 {
+		s = 1
+	}
+	return &jitter{state: s}
+}
+
+func (j *jitter) next() uint64 {
+	j.state ^= j.state << 13
+	j.state ^= j.state >> 7
+	j.state ^= j.state << 17
+	return j.state
+}
+
+// small returns a short, highly variable duration in [base, 6·base]:
+// the loop-header bookkeeping real programs show at segment starts, whose
+// large *relative* spread is what stresses ratio-based similarity tests.
+func (j *jitter) small(base int64) int64 {
+	if base < 1 {
+		base = 1
+	}
+	return base + int64(j.next()%uint64(5*base+1))
+}
+
+// stretch perturbs dur by a deterministic offset in ±pct percent.
+func (j *jitter) stretch(dur int64, pct int) int64 {
+	if pct <= 0 || dur <= 0 {
+		return dur
+	}
+	span := 2*pct + 1
+	off := int64(j.next()%uint64(span)) - int64(pct)
+	out := dur + dur*off/100
+	if out < 1 {
+		out = 1
+	}
+	return out
+}

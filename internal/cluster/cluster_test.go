@@ -1,0 +1,164 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// groupedTrace builds a trace whose ranks fall into two obvious behaviour
+// groups: the first half spends time in "fast", the second half 10× more
+// time in "slow".
+func groupedTrace(n int) *trace.Trace {
+	t := trace.New("grouped", n)
+	for r := 0; r < n; r++ {
+		name, dur := "fast", trace.Time(100+r) // small within-group variation
+		if r >= n/2 {
+			name, dur = "slow", trace.Time(1000+10*r)
+		}
+		t.Ranks[r].Events = []trace.Event{
+			{Name: "s", Kind: trace.KindMarkBegin, Peer: trace.NoPeer, Root: trace.NoPeer},
+			{Name: name, Kind: trace.KindCompute, Enter: 0, Exit: dur, Peer: trace.NoPeer, Root: trace.NoPeer},
+			{Name: "s", Kind: trace.KindMarkEnd, Enter: dur, Exit: dur, Peer: trace.NoPeer, Root: trace.NoPeer},
+		}
+	}
+	return t
+}
+
+func TestProfiles(t *testing.T) {
+	tr := groupedTrace(4)
+	ps := Profiles(tr)
+	if len(ps) != 4 {
+		t.Fatalf("got %d profiles", len(ps))
+	}
+	// Dimension order is the sorted union: fast, slow.
+	if ps[0].Values[0] != 100 || ps[0].Values[1] != 0 {
+		t.Errorf("rank 0 profile = %v", ps[0].Values)
+	}
+	if ps[3].Values[0] != 0 || ps[3].Values[1] != 1030 {
+		t.Errorf("rank 3 profile = %v", ps[3].Values)
+	}
+}
+
+func TestKMedoidsTwoGroups(t *testing.T) {
+	tr := groupedTrace(8)
+	c, err := KMedoids(Profiles(tr), 2)
+	if err != nil {
+		t.Fatalf("KMedoids: %v", err)
+	}
+	if len(c.Medoids) != 2 {
+		t.Fatalf("medoids = %v", c.Medoids)
+	}
+	// Ranks 0-3 must share a cluster; ranks 4-7 the other.
+	for r := 1; r < 4; r++ {
+		if c.Assign[r] != c.Assign[0] {
+			t.Errorf("rank %d not with rank 0: %v", r, c.Assign)
+		}
+	}
+	for r := 5; r < 8; r++ {
+		if c.Assign[r] != c.Assign[4] {
+			t.Errorf("rank %d not with rank 4: %v", r, c.Assign)
+		}
+	}
+	if c.Assign[0] == c.Assign[4] {
+		t.Errorf("distinct groups merged: %v", c.Assign)
+	}
+	sizes := c.ClusterSizes()
+	if sizes[0] != 4 || sizes[1] != 4 {
+		t.Errorf("cluster sizes = %v, want [4 4]", sizes)
+	}
+}
+
+func TestKMedoidsEdgeCases(t *testing.T) {
+	tr := groupedTrace(4)
+	ps := Profiles(tr)
+	// k = 1: everything in one cluster.
+	c, err := KMedoids(ps, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range c.Assign {
+		if a != 0 {
+			t.Errorf("k=1 assign = %v", c.Assign)
+		}
+	}
+	// k = n: every rank its own medoid, zero cost.
+	c, err = KMedoids(ps, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Cost != 0 {
+		t.Errorf("k=n cost = %v, want 0", c.Cost)
+	}
+	// Errors.
+	if _, err := KMedoids(ps, 0); err == nil {
+		t.Error("k=0 must fail")
+	}
+	if _, err := KMedoids(ps, 5); err == nil {
+		t.Error("k>n must fail")
+	}
+	if _, err := KMedoids(nil, 1); err == nil {
+		t.Error("empty profiles must fail")
+	}
+}
+
+func TestKMedoidsDeterministic(t *testing.T) {
+	tr := groupedTrace(8)
+	a, err := KMedoids(Profiles(tr), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := KMedoids(Profiles(tr), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Medoids {
+		if a.Medoids[i] != b.Medoids[i] {
+			t.Fatalf("medoids differ: %v vs %v", a.Medoids, b.Medoids)
+		}
+	}
+}
+
+func TestReduceShrinksAndTracksError(t *testing.T) {
+	tr := groupedTrace(8)
+	red, err := Reduce(tr, 2)
+	if err != nil {
+		t.Fatalf("Reduce: %v", err)
+	}
+	fullSize := trace.EncodedSize(tr)
+	if red.EncodedSize() >= fullSize {
+		t.Errorf("clustered size %d not smaller than full %d", red.EncodedSize(), fullSize)
+	}
+	// With the clean two-group structure the profile error is small but
+	// non-zero (within-group variation).
+	errRMS := ProfileError(tr, red)
+	if errRMS <= 0 || errRMS > 0.2 {
+		t.Errorf("profile RMS error = %v, want small non-zero", errRMS)
+	}
+	// k = n reproduces every rank exactly.
+	full, err := Reduce(tr, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ProfileError(tr, full); got != 0 {
+		t.Errorf("k=n profile error = %v, want 0", got)
+	}
+}
+
+// TestMoreClustersMonotone: adding clusters never increases cost.
+func TestMoreClustersMonotone(t *testing.T) {
+	tr := groupedTrace(8)
+	ps := Profiles(tr)
+	prev := math.Inf(1)
+	for k := 1; k <= 8; k++ {
+		c, err := KMedoids(ps, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Cost > prev+1e-9 {
+			t.Errorf("cost increased at k=%d: %v > %v", k, c.Cost, prev)
+		}
+		prev = c.Cost
+	}
+}

@@ -1,0 +1,217 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/segment"
+	"repro/internal/trace"
+)
+
+// Reduced trace file format.
+//
+// All integers little-endian. Layout:
+//
+//	magic  "TRR1"
+//	name   length-prefixed workload name
+//	method length-prefixed policy name
+//	names  u32 count + length-prefixed strings (event names AND contexts)
+//	nranks u32
+//	per rank:
+//	  rank u32, nstored u32, nexecs u32
+//	  per stored segment: contextID u32, end i64, weight u32,
+//	                      nevents u32, then 41-byte event records
+//	  per exec: id u32, start i64            (12 bytes each)
+//
+// The 12-byte exec record is what makes reduction pay: a matched segment
+// costs 12 bytes instead of nevents × 41.
+
+const reducedMagic = "TRR1"
+
+// ExecRecordSize is the encoded size of one segment-execution record.
+const ExecRecordSize = 4 + 8
+
+// EncodedReducedSize returns the byte size EncodeReduced would write.
+func EncodedReducedSize(r *Reduced) int64 {
+	var c trace.CountingWriter
+	if err := EncodeReduced(&c, r); err != nil {
+		panic("core: EncodedReducedSize: " + err.Error())
+	}
+	return c.N
+}
+
+// EncodeReduced writes r to w in the reduced binary format.
+func EncodeReduced(w io.Writer, r *Reduced) error {
+	bw := bufio.NewWriter(w)
+	if _, err := io.WriteString(bw, reducedMagic); err != nil {
+		return err
+	}
+	if err := trace.WriteString(bw, r.Name); err != nil {
+		return err
+	}
+	if err := trace.WriteString(bw, r.Method); err != nil {
+		return err
+	}
+	nt := trace.NewNameTable()
+	for i := range r.Ranks {
+		for _, s := range r.Ranks[i].Stored {
+			nt.ID(s.Context)
+			for _, e := range s.Events {
+				nt.ID(e.Name)
+			}
+		}
+	}
+	le := binary.LittleEndian
+	if err := binary.Write(bw, le, uint32(len(nt.Names()))); err != nil {
+		return err
+	}
+	for _, name := range nt.Names() {
+		if err := trace.WriteString(bw, name); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(bw, le, uint32(len(r.Ranks))); err != nil {
+		return err
+	}
+	var rec [trace.EventRecordSize]byte
+	for i := range r.Ranks {
+		rr := &r.Ranks[i]
+		hdr := []uint32{uint32(rr.Rank), uint32(len(rr.Stored)), uint32(len(rr.Execs))}
+		if err := binary.Write(bw, le, hdr); err != nil {
+			return err
+		}
+		for _, s := range rr.Stored {
+			if err := binary.Write(bw, le, uint32(nt.ID(s.Context))); err != nil {
+				return err
+			}
+			if err := binary.Write(bw, le, s.End); err != nil {
+				return err
+			}
+			if err := binary.Write(bw, le, uint32(s.Weight)); err != nil {
+				return err
+			}
+			if err := binary.Write(bw, le, uint32(len(s.Events))); err != nil {
+				return err
+			}
+			for _, e := range s.Events {
+				trace.PutEventRecord(rec[:], nt.ID(e.Name), e)
+				if _, err := bw.Write(rec[:]); err != nil {
+					return err
+				}
+			}
+		}
+		for _, ex := range rr.Execs {
+			if err := binary.Write(bw, le, uint32(ex.ID)); err != nil {
+				return err
+			}
+			if err := binary.Write(bw, le, ex.Start); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// DecodeReduced reads a reduced trace in the binary format from rd.
+func DecodeReduced(rd io.Reader) (*Reduced, error) {
+	br := bufio.NewReader(rd)
+	magic := make([]byte, len(reducedMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("core: reading magic: %w", err)
+	}
+	if string(magic) != reducedMagic {
+		return nil, fmt.Errorf("core: bad magic %q", magic)
+	}
+	name, err := trace.ReadString(br)
+	if err != nil {
+		return nil, err
+	}
+	method, err := trace.ReadString(br)
+	if err != nil {
+		return nil, err
+	}
+	le := binary.LittleEndian
+	var nNames uint32
+	if err := binary.Read(br, le, &nNames); err != nil {
+		return nil, err
+	}
+	if nNames > 1<<24 {
+		return nil, fmt.Errorf("core: name table size %d too large", nNames)
+	}
+	names := make([]string, nNames)
+	for i := range names {
+		if names[i], err = trace.ReadString(br); err != nil {
+			return nil, err
+		}
+	}
+	var nRanks uint32
+	if err := binary.Read(br, le, &nRanks); err != nil {
+		return nil, err
+	}
+	if nRanks > 1<<20 {
+		return nil, fmt.Errorf("core: rank count %d too large", nRanks)
+	}
+	r := &Reduced{Name: name, Method: method, Ranks: make([]RankReduced, nRanks)}
+	rec := make([]byte, trace.EventRecordSize)
+	for i := range r.Ranks {
+		var hdr [3]uint32
+		if err := binary.Read(br, le, &hdr); err != nil {
+			return nil, err
+		}
+		rr := &r.Ranks[i]
+		rr.Rank = int(hdr[0])
+		nStored, nExecs := hdr[1], hdr[2]
+		if nStored > 1<<24 || nExecs > 1<<28 {
+			return nil, fmt.Errorf("core: rank %d: implausible counts stored=%d execs=%d", rr.Rank, nStored, nExecs)
+		}
+		rr.Stored = make([]*segment.Segment, 0, nStored)
+		for j := uint32(0); j < nStored; j++ {
+			var ctxID uint32
+			var end int64
+			var weight, nEvents uint32
+			if err := binary.Read(br, le, &ctxID); err != nil {
+				return nil, err
+			}
+			if err := binary.Read(br, le, &end); err != nil {
+				return nil, err
+			}
+			if err := binary.Read(br, le, &weight); err != nil {
+				return nil, err
+			}
+			if err := binary.Read(br, le, &nEvents); err != nil {
+				return nil, err
+			}
+			if int(ctxID) >= len(names) {
+				return nil, fmt.Errorf("core: context id %d out of range", ctxID)
+			}
+			s := &segment.Segment{Context: names[ctxID], Rank: rr.Rank, End: end, Weight: int(weight)}
+			s.Events = make([]trace.Event, 0, nEvents)
+			for k := uint32(0); k < nEvents; k++ {
+				if _, err := io.ReadFull(br, rec); err != nil {
+					return nil, err
+				}
+				e, err := trace.GetEventRecord(rec, names)
+				if err != nil {
+					return nil, err
+				}
+				s.Events = append(s.Events, e)
+			}
+			rr.Stored = append(rr.Stored, s)
+		}
+		rr.Execs = make([]Exec, 0, nExecs)
+		for j := uint32(0); j < nExecs; j++ {
+			var id uint32
+			var start int64
+			if err := binary.Read(br, le, &id); err != nil {
+				return nil, err
+			}
+			if err := binary.Read(br, le, &start); err != nil {
+				return nil, err
+			}
+			rr.Execs = append(rr.Execs, Exec{ID: int(id), Start: start})
+		}
+	}
+	return r, nil
+}

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/segment"
+)
+
+// iterK keeps the first k instances of every segment pattern verbatim;
+// from the (k+1)-th instance on, every occurrence "matches" the last
+// collected copy. Reconstruction therefore fills the missing executions
+// with the last collected segment of the pattern (paper footnote 1).
+type iterK struct{ k int }
+
+// NewIterK returns the iter_k policy. k must be >= 1.
+func NewIterK(k int) (Policy, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("core: iter_k requires k >= 1, got %d", k)
+	}
+	return &iterK{k: k}, nil
+}
+
+func (p *iterK) Name() string { return "iter_k" }
+
+func (p *iterK) Match(stored []*segment.Segment, cand *segment.Segment) int {
+	if len(stored) >= p.k {
+		return len(stored) - 1
+	}
+	return -1
+}
+
+func (p *iterK) Absorb(*segment.Segment, *segment.Segment) {}
+
+// iterAvg keeps exactly one representative per pattern holding the
+// running average of every measurement over all folded instances.
+type iterAvg struct{}
+
+// NewIterAvg returns the iter_avg policy.
+func NewIterAvg() Policy { return iterAvg{} }
+
+func (iterAvg) Name() string { return "iter_avg" }
+
+func (iterAvg) Match(stored []*segment.Segment, cand *segment.Segment) int {
+	if len(stored) > 0 {
+		return 0
+	}
+	return -1
+}
+
+// Absorb folds cand into matched as an incremental mean: with matched
+// already representing w instances, each averaged measurement becomes
+// (w·avg + new) / (w+1). Integer division keeps timestamps in time units;
+// the sub-microsecond truncation is far below every threshold studied.
+func (iterAvg) Absorb(matched, cand *segment.Segment) {
+	w := int64(matched.Weight)
+	avg := func(old, new int64) int64 { return (old*w + new) / (w + 1) }
+	matched.End = avg(matched.End, cand.End)
+	for i := range matched.Events {
+		matched.Events[i].Enter = avg(matched.Events[i].Enter, cand.Events[i].Enter)
+		matched.Events[i].Exit = avg(matched.Events[i].Exit, cand.Events[i].Exit)
+	}
+	matched.Weight++
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/segment"
+)
+
+func TestIterKSemantics(t *testing.T) {
+	p, err := NewIterK(3)
+	if err != nil {
+		t.Fatalf("NewIterK: %v", err)
+	}
+	if p.Name() != "iter_k" {
+		t.Errorf("Name = %q", p.Name())
+	}
+	// Fewer than k stored: no match, the segment must be kept.
+	if got := p.Match([]*segment.Segment{s0(), s1()}, s2()); got != -1 {
+		t.Errorf("with 2 < k stored, Match = %d, want -1", got)
+	}
+	// Exactly k stored: match the last collected copy (paper footnote 1).
+	if got := p.Match([]*segment.Segment{s0(), s1(), s2()}, s0()); got != 2 {
+		t.Errorf("with k stored, Match = %d, want 2 (last)", got)
+	}
+	if _, err := NewIterK(0); err == nil {
+		t.Error("k=0 must be rejected")
+	}
+}
+
+func TestIterAvgSemantics(t *testing.T) {
+	p := NewIterAvg()
+	if p.Name() != "iter_avg" {
+		t.Errorf("Name = %q", p.Name())
+	}
+	if got := p.Match(nil, s2()); got != -1 {
+		t.Errorf("first instance must not match, got %d", got)
+	}
+	if got := p.Match([]*segment.Segment{s0()}, s2()); got != 0 {
+		t.Errorf("later instances must match index 0, got %d", got)
+	}
+}
+
+// TestIterAvgAbsorb verifies the running-average arithmetic: folding s2
+// into s0 (both weight considerations) produces element-wise means.
+func TestIterAvgAbsorb(t *testing.T) {
+	p := NewIterAvg()
+	rep := s0() // (50, 1, 20, 21, 49), weight 1
+	p.Absorb(rep, s2())
+	if rep.Weight != 2 {
+		t.Fatalf("Weight = %d, want 2", rep.Weight)
+	}
+	// Means of (50,49), (1,1), (20,17), (21,18), (49,48) with integer
+	// truncation: 49, 1, 18, 19, 48.
+	if rep.End != 49 {
+		t.Errorf("End = %d, want 49", rep.End)
+	}
+	if rep.Events[0].Enter != 1 || rep.Events[0].Exit != 18 {
+		t.Errorf("do_work = (%d,%d), want (1,18)", rep.Events[0].Enter, rep.Events[0].Exit)
+	}
+	if rep.Events[1].Enter != 19 || rep.Events[1].Exit != 48 {
+		t.Errorf("allgather = (%d,%d), want (19,48)", rep.Events[1].Enter, rep.Events[1].Exit)
+	}
+	// Folding a third instance weights the existing average by 2.
+	p.Absorb(rep, s1()) // s1 = (51, 1, 40, 41, 50)
+	if rep.Weight != 3 {
+		t.Fatalf("Weight = %d, want 3", rep.Weight)
+	}
+	if rep.End != (49*2+51)/3 {
+		t.Errorf("End = %d, want %d", rep.End, (49*2+51)/3)
+	}
+}
+
+// TestIterAvgPreservesOrdering: averaging valid segments must keep event
+// times ordered and within the segment.
+func TestIterAvgPreservesOrdering(t *testing.T) {
+	p := NewIterAvg()
+	rep := s0()
+	for _, s := range []*segment.Segment{s1(), s2(), s1(), s2(), s1()} {
+		p.Absorb(rep, s)
+	}
+	last := int64(0)
+	for _, e := range rep.Events {
+		if e.Enter < last || e.Exit < e.Enter {
+			t.Fatalf("averaging broke ordering: %+v", rep.Events)
+		}
+		last = e.Enter
+	}
+	if rep.Events[len(rep.Events)-1].Exit > rep.End {
+		t.Errorf("last exit %d beyond segment end %d", rep.Events[len(rep.Events)-1].Exit, rep.End)
+	}
+}
+
+func TestDistancePoliciesAbsorbIsNoop(t *testing.T) {
+	rep := s0()
+	before := *rep
+	NewAbsDiff(20).Absorb(rep, s2())
+	if rep.End != before.End || rep.Weight != before.Weight {
+		t.Error("distance policies must not mutate representatives")
+	}
+}

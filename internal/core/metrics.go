@@ -1,0 +1,76 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/trace"
+)
+
+// ApproximationDistance implements the paper's §4.3.3 error metric: the
+// reconstructed trace is compared with the original time stamp by time
+// stamp and the metric reports the absolute difference that the given
+// quantile of stamps stays within (the paper uses 0.9: "what absolute
+// difference 90% of time stamps had"). Marker stamps are excluded; they
+// are bookkeeping, not measurements.
+func ApproximationDistance(full, approx *trace.Trace, quantile float64) (trace.Time, error) {
+	if quantile <= 0 || quantile > 1 {
+		return 0, fmt.Errorf("core: quantile must be in (0,1], got %g", quantile)
+	}
+	if len(full.Ranks) != len(approx.Ranks) {
+		return 0, fmt.Errorf("core: rank count mismatch %d vs %d", len(full.Ranks), len(approx.Ranks))
+	}
+	var diffs []trace.Time
+	var fb, ab []trace.Time
+	for r := range full.Ranks {
+		fb = full.Timestamps(r, fb[:0])
+		ab = approx.Timestamps(r, ab[:0])
+		if len(fb) != len(ab) {
+			return 0, fmt.Errorf("core: rank %d timestamp count mismatch %d vs %d", r, len(fb), len(ab))
+		}
+		for i := range fb {
+			d := fb[i] - ab[i]
+			if d < 0 {
+				d = -d
+			}
+			diffs = append(diffs, d)
+		}
+	}
+	if len(diffs) == 0 {
+		return 0, nil
+	}
+	sort.Slice(diffs, func(i, j int) bool { return diffs[i] < diffs[j] })
+	idx := int(quantile*float64(len(diffs))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(diffs) {
+		idx = len(diffs) - 1
+	}
+	return diffs[idx], nil
+}
+
+// SizeReport summarizes the file-size criterion for one reduction.
+type SizeReport struct {
+	// FullBytes is the encoded size of the original trace.
+	FullBytes int64
+	// ReducedBytes is the encoded size of the reduced trace.
+	ReducedBytes int64
+}
+
+// Percent returns the reduced size as a percentage of the full size
+// (paper §4.3.1).
+func (s SizeReport) Percent() float64 {
+	if s.FullBytes == 0 {
+		return 0
+	}
+	return 100 * float64(s.ReducedBytes) / float64(s.FullBytes)
+}
+
+// Sizes computes the file-size criterion by encoding both forms.
+func Sizes(full *trace.Trace, red *Reduced) SizeReport {
+	return SizeReport{
+		FullBytes:    trace.EncodedSize(full),
+		ReducedBytes: EncodedReducedSize(red),
+	}
+}

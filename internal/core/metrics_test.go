@@ -1,0 +1,115 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// pairTraces builds two single-rank traces whose non-marker timestamps
+// differ by the given per-event deltas.
+func pairTraces(deltas []trace.Time) (*trace.Trace, *trace.Trace) {
+	mk := func(shift []trace.Time) *trace.Trace {
+		t := trace.New("t", 1)
+		now := trace.Time(100)
+		add := func(e trace.Event) { t.Ranks[0].Events = append(t.Ranks[0].Events, e) }
+		add(trace.Event{Name: "s", Kind: trace.KindMarkBegin, Enter: 0, Exit: 0, Peer: trace.NoPeer, Root: trace.NoPeer})
+		for i := range deltas {
+			d := trace.Time(0)
+			if shift != nil {
+				d = shift[i]
+			}
+			add(trace.Event{Name: "w", Kind: trace.KindCompute,
+				Enter: now + d, Exit: now + 10 + d, Peer: trace.NoPeer, Root: trace.NoPeer})
+			now += 20
+		}
+		add(trace.Event{Name: "s", Kind: trace.KindMarkEnd, Enter: now, Exit: now, Peer: trace.NoPeer, Root: trace.NoPeer})
+		return t
+	}
+	return mk(nil), mk(deltas)
+}
+
+func TestApproximationDistanceExact(t *testing.T) {
+	full, approx := pairTraces([]trace.Time{0, 0, 0, 0})
+	d, err := ApproximationDistance(full, approx, 0.9)
+	if err != nil {
+		t.Fatalf("ApproximationDistance: %v", err)
+	}
+	if d != 0 {
+		t.Errorf("distance = %d, want 0", d)
+	}
+}
+
+// TestApproximationDistanceQuantile: with 10 events (20 stamps), one
+// outlier of 1000 lands in the top 10%, so the 90th-percentile distance
+// must stay at the small error.
+func TestApproximationDistanceQuantile(t *testing.T) {
+	deltas := make([]trace.Time, 10)
+	for i := range deltas {
+		deltas[i] = 5
+	}
+	deltas[9] = 1000 // one event (2 stamps = top 10%) far off
+	full, approx := pairTraces(deltas)
+	d, err := ApproximationDistance(full, approx, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 5 {
+		t.Errorf("90th-pct distance = %d, want 5 (outlier excluded)", d)
+	}
+	dAll, err := ApproximationDistance(full, approx, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dAll != 1000 {
+		t.Errorf("100th-pct distance = %d, want 1000", dAll)
+	}
+}
+
+func TestApproximationDistanceNegativeDeltas(t *testing.T) {
+	full, approx := pairTraces([]trace.Time{-7, -7, -7, -7})
+	d, err := ApproximationDistance(full, approx, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 7 {
+		t.Errorf("distance = %d, want 7 (absolute)", d)
+	}
+}
+
+func TestApproximationDistanceErrors(t *testing.T) {
+	full, approx := pairTraces([]trace.Time{0})
+	if _, err := ApproximationDistance(full, approx, 0); err == nil {
+		t.Error("quantile 0 must be rejected")
+	}
+	if _, err := ApproximationDistance(full, approx, 1.5); err == nil {
+		t.Error("quantile > 1 must be rejected")
+	}
+	other := trace.New("other", 2)
+	if _, err := ApproximationDistance(full, other, 0.9); err == nil {
+		t.Error("rank count mismatch must be rejected")
+	}
+	// Same ranks, different event counts.
+	short := trace.New("short", 1)
+	if _, err := ApproximationDistance(full, short, 0.9); err == nil {
+		t.Error("timestamp count mismatch must be rejected")
+	}
+}
+
+func TestApproximationDistanceEmpty(t *testing.T) {
+	a, b := trace.New("a", 1), trace.New("b", 1)
+	d, err := ApproximationDistance(a, b, 0.9)
+	if err != nil || d != 0 {
+		t.Errorf("empty traces: d=%d err=%v", d, err)
+	}
+}
+
+func TestSizeReportPercent(t *testing.T) {
+	s := SizeReport{FullBytes: 200, ReducedBytes: 30}
+	if got := s.Percent(); got != 15 {
+		t.Errorf("Percent = %v, want 15", got)
+	}
+	if got := (SizeReport{}).Percent(); got != 0 {
+		t.Errorf("empty Percent = %v, want 0", got)
+	}
+}

@@ -1,0 +1,210 @@
+// Package core implements the paper's primary contribution: segment-
+// similarity policies (relDiff, absDiff, the Minkowski family, the two
+// wavelet transforms, iter_k and iter_avg), the trace-reduction engine
+// that keeps one representative per repeating pattern, reconstruction of
+// approximate full traces, the reduced-trace file format, and the
+// evaluation metrics built on them (file-size percentage, degree of
+// matching, approximation distance).
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/segment"
+	"repro/internal/wavelet"
+)
+
+// Policy decides whether a new segment matches one of the stored
+// representatives of its pattern class. The reduction engine guarantees
+// that every candidate passed to Match is Comparable with cand (same
+// context, same events, same message parameters), so policies only judge
+// the timing measurements.
+type Policy interface {
+	// Name returns the method's canonical name (e.g. "relDiff").
+	Name() string
+	// Match returns the index within stored of the representative cand
+	// matches, or -1 for no match. stored holds, in collection order, the
+	// representatives already kept for cand's pattern class.
+	Match(stored []*segment.Segment, cand *segment.Segment) int
+	// Absorb folds cand into the matched representative. Only iter_avg
+	// mutates the representative; every other policy is a no-op.
+	Absorb(matched *segment.Segment, cand *segment.Segment)
+}
+
+// distancePolicy adapts a pairwise segment predicate to the Policy
+// interface: a candidate matches the first stored representative the
+// predicate accepts.
+type distancePolicy struct {
+	name      string
+	threshold float64
+	match     func(threshold float64, a, b *segment.Segment) bool
+}
+
+func (p *distancePolicy) Name() string { return p.name }
+
+func (p *distancePolicy) Match(stored []*segment.Segment, cand *segment.Segment) int {
+	for i, s := range stored {
+		if p.match(p.threshold, s, cand) {
+			return i
+		}
+	}
+	return -1
+}
+
+func (p *distancePolicy) Absorb(*segment.Segment, *segment.Segment) {}
+
+// relDiff compares each paired measurement in isolation:
+// |a−b| / max(a, b) must not exceed the threshold (paper §3.2.1; the
+// worked example gives |17−40|/40 = 0.58). Two zero measurements are
+// equal by definition.
+func relDiffMatch(t float64, a, b *segment.Segment) bool {
+	va := a.Measurements(nil)
+	vb := b.Measurements(nil)
+	for i := range va {
+		x, y := va[i], vb[i]
+		d := math.Abs(x - y)
+		if d == 0 {
+			continue
+		}
+		m := math.Max(math.Abs(x), math.Abs(y))
+		if d/m > t {
+			return false
+		}
+	}
+	return true
+}
+
+// absDiff allows a fixed absolute difference per paired measurement.
+func absDiffMatch(t float64, a, b *segment.Segment) bool {
+	va := a.Measurements(nil)
+	vb := b.Measurements(nil)
+	for i := range va {
+		if math.Abs(va[i]-vb[i]) > t {
+			return false
+		}
+	}
+	return true
+}
+
+// minkowskiMatch computes the order-m Minkowski distance between the
+// measurement vectors and accepts when it is at most threshold × the
+// largest measurement in the pair of vectors (paper Eq. 1 and the worked
+// example: max(51) × 0.2 = 10.2). m = 0 selects Chebyshev (m → ∞).
+func minkowskiMatch(t float64, m int, a, b *segment.Segment) bool {
+	va := a.Measurements(nil)
+	vb := b.Measurements(nil)
+	var dist float64
+	var maxVal float64
+	for i := range va {
+		if av := math.Abs(va[i]); av > maxVal {
+			maxVal = av
+		}
+		if bv := math.Abs(vb[i]); bv > maxVal {
+			maxVal = bv
+		}
+		d := math.Abs(va[i] - vb[i])
+		switch m {
+		case 0: // Chebyshev
+			if d > dist {
+				dist = d
+			}
+		case 1:
+			dist += d
+		case 2:
+			dist += d * d
+		default:
+			dist += math.Pow(d, float64(m))
+		}
+	}
+	switch m {
+	case 0, 1:
+		// done
+	case 2:
+		dist = math.Sqrt(dist)
+	default:
+		dist = math.Pow(dist, 1/float64(m))
+	}
+	return dist <= t*maxVal
+}
+
+// waveMatch transforms both stamp vectors (zero-padded to a power of two)
+// and accepts when the Euclidean distance between the transforms is at
+// most threshold × the largest value in the pair of transformed vectors
+// (paper Figure 3: 1.9 ≤ 0.2 × 17.625).
+func waveMatch(t float64, haar bool, a, b *segment.Segment) bool {
+	va := a.StampVector(nil)
+	vb := b.StampVector(nil)
+	// Pad both to the larger power of two so the vectors align; segments
+	// passed here always have equal event counts, so this is symmetric.
+	n := wavelet.NextPow2(len(va))
+	if m := wavelet.NextPow2(len(vb)); m > n {
+		n = m
+	}
+	pa := make([]float64, n)
+	copy(pa, va)
+	pb := make([]float64, n)
+	copy(pb, vb)
+	var ta, tb []float64
+	if haar {
+		ta, tb = wavelet.Haar(pa), wavelet.Haar(pb)
+	} else {
+		ta, tb = wavelet.Average(pa), wavelet.Average(pb)
+	}
+	d := wavelet.Euclidean(ta, tb)
+	return d <= t*wavelet.MaxAbs(ta, tb)
+}
+
+// NewRelDiff returns the relative-difference policy with the given
+// per-measurement threshold.
+func NewRelDiff(threshold float64) Policy {
+	return &distancePolicy{name: "relDiff", threshold: threshold, match: relDiffMatch}
+}
+
+// NewAbsDiff returns the absolute-difference policy; threshold is in time
+// units (microseconds).
+func NewAbsDiff(threshold float64) Policy {
+	return &distancePolicy{name: "absDiff", threshold: threshold, match: absDiffMatch}
+}
+
+// NewManhattan returns the Minkowski m=1 policy.
+func NewManhattan(threshold float64) Policy {
+	return &distancePolicy{name: "manhattan", threshold: threshold,
+		match: func(t float64, a, b *segment.Segment) bool { return minkowskiMatch(t, 1, a, b) }}
+}
+
+// NewEuclidean returns the Minkowski m=2 policy.
+func NewEuclidean(threshold float64) Policy {
+	return &distancePolicy{name: "euclidean", threshold: threshold,
+		match: func(t float64, a, b *segment.Segment) bool { return minkowskiMatch(t, 2, a, b) }}
+}
+
+// NewChebyshev returns the Minkowski m→∞ policy (largest single
+// measurement difference).
+func NewChebyshev(threshold float64) Policy {
+	return &distancePolicy{name: "chebyshev", threshold: threshold,
+		match: func(t float64, a, b *segment.Segment) bool { return minkowskiMatch(t, 0, a, b) }}
+}
+
+// NewMinkowski returns a Minkowski policy of arbitrary order m >= 1; the
+// paper evaluates m = 1, 2 and the Chebyshev limit, but other orders are
+// useful for ablation.
+func NewMinkowski(m int, threshold float64) (Policy, error) {
+	if m < 1 {
+		return nil, fmt.Errorf("core: Minkowski order must be >= 1, got %d", m)
+	}
+	return &distancePolicy{name: fmt.Sprintf("minkowski%d", m), threshold: threshold,
+		match: func(t float64, a, b *segment.Segment) bool { return minkowskiMatch(t, m, a, b) }}, nil
+}
+
+// NewAvgWave returns the average-wavelet-transform policy.
+func NewAvgWave(threshold float64) Policy {
+	return &distancePolicy{name: "avgWave", threshold: threshold,
+		match: func(t float64, a, b *segment.Segment) bool { return waveMatch(t, false, a, b) }}
+}
+
+// NewHaarWave returns the Haar-wavelet-transform policy.
+func NewHaarWave(threshold float64) Policy {
+	return &distancePolicy{name: "haarWave", threshold: threshold,
+		match: func(t float64, a, b *segment.Segment) bool { return waveMatch(t, true, a, b) }}
+}

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/segment"
+	"repro/internal/trace"
+)
+
+// Exec records one execution of a stored segment: which representative
+// stands in for it and when it started (paper: segmentExecs).
+type Exec struct {
+	// ID indexes the owning RankReduced.Stored slice.
+	ID int
+	// Start is the absolute start time of the execution.
+	Start trace.Time
+}
+
+// RankReduced is the reduced form of one rank's trace: the representative
+// segments plus the (id, start-time) execution log. The paper reduces each
+// per-task trace independently before merging, and so do we.
+type RankReduced struct {
+	Rank   int
+	Stored []*segment.Segment
+	Execs  []Exec
+}
+
+// Reduced is a reduced application trace with the bookkeeping needed by
+// the evaluation criteria.
+type Reduced struct {
+	// Name is the workload name, copied from the input trace.
+	Name string
+	// Method is the similarity policy that produced the reduction.
+	Method string
+	// Ranks holds the per-rank reductions, indexed by rank.
+	Ranks []RankReduced
+
+	// TotalSegments counts segments over all ranks before reduction.
+	TotalSegments int
+	// Matches counts segments that matched a stored representative.
+	Matches int
+	// PossibleMatches counts segments that had any comparable predecessor
+	// (total minus the number of distinct pattern classes), the
+	// denominator of the degree-of-matching metric.
+	PossibleMatches int
+}
+
+// DegreeOfMatching returns Matches / PossibleMatches (paper §4.3.2), or 1
+// when the workload structure admits no matches at all.
+func (r *Reduced) DegreeOfMatching() float64 {
+	if r.PossibleMatches == 0 {
+		return 1
+	}
+	return float64(r.Matches) / float64(r.PossibleMatches)
+}
+
+// StoredSegments returns the total number of representatives kept across
+// all ranks.
+func (r *Reduced) StoredSegments() int {
+	n := 0
+	for i := range r.Ranks {
+		n += len(r.Ranks[i].Stored)
+	}
+	return n
+}
+
+// Reduce segments t and reduces every rank's trace with policy p,
+// following the paper's algorithm: each new segment is normalized
+// relative to its start, compared against the stored representatives of
+// its pattern class, and either logged as an execution of a match or
+// appended as a new representative.
+func Reduce(t *trace.Trace, p Policy) (*Reduced, error) {
+	perRank, err := segment.SplitTrace(t)
+	if err != nil {
+		return nil, err
+	}
+	red := &Reduced{Name: t.Name, Method: p.Name(), Ranks: make([]RankReduced, len(t.Ranks))}
+	for rank, segs := range perRank {
+		rr := &red.Ranks[rank]
+		rr.Rank = rank
+		// byClass maps a signature to the stored indices of that pattern
+		// class, in collection order. Signature collisions are guarded by
+		// Comparable below.
+		byClass := map[segment.Signature][]int{}
+		var candBuf []*segment.Segment
+		for _, s := range segs {
+			red.TotalSegments++
+			ids := byClass[s.Sig()]
+			candBuf = candBuf[:0]
+			candIDs := candBuf2IDs(ids, rr.Stored, s, &candBuf)
+			if len(candIDs) > 0 {
+				red.PossibleMatches++
+			}
+			if idx := p.Match(candBuf, s); idx >= 0 {
+				storedID := candIDs[idx]
+				p.Absorb(rr.Stored[storedID], s)
+				rr.Execs = append(rr.Execs, Exec{ID: storedID, Start: s.Start})
+				red.Matches++
+				continue
+			}
+			id := len(rr.Stored)
+			kept := s.Clone()
+			kept.Start = 0
+			rr.Stored = append(rr.Stored, kept)
+			rr.Execs = append(rr.Execs, Exec{ID: id, Start: s.Start})
+			byClass[s.Sig()] = append(ids, id)
+		}
+	}
+	return red, nil
+}
+
+// candBuf2IDs filters the candidate stored indices down to those truly
+// comparable with s (defends against signature collisions), fills buf with
+// the corresponding segments, and returns the filtered index list.
+func candBuf2IDs(ids []int, stored []*segment.Segment, s *segment.Segment, buf *[]*segment.Segment) []int {
+	out := ids[:0:0]
+	for _, id := range ids {
+		if stored[id].Comparable(s) {
+			out = append(out, id)
+			*buf = append(*buf, stored[id])
+		}
+	}
+	return out
+}
+
+// Reconstruct re-creates an approximate full trace from the reduction:
+// for every logged execution the representative's events are replayed
+// shifted to the recorded start time, bracketed by the segment markers
+// (paper §4.3.3). The result has exactly the same event structure as the
+// original trace, with approximated timestamps.
+func (r *Reduced) Reconstruct() (*trace.Trace, error) {
+	t := trace.New(r.Name, len(r.Ranks))
+	for rank := range r.Ranks {
+		rr := &r.Ranks[rank]
+		rt := &t.Ranks[rank]
+		for _, ex := range rr.Execs {
+			if ex.ID < 0 || ex.ID >= len(rr.Stored) {
+				return nil, fmt.Errorf("core: rank %d exec references segment %d of %d", rank, ex.ID, len(rr.Stored))
+			}
+			s := rr.Stored[ex.ID]
+			rt.Events = append(rt.Events, trace.Event{
+				Name: s.Context, Kind: trace.KindMarkBegin, Enter: ex.Start, Exit: ex.Start,
+				Peer: trace.NoPeer, Root: trace.NoPeer,
+			})
+			for _, e := range s.Events {
+				abs := e
+				abs.Enter += ex.Start
+				abs.Exit += ex.Start
+				rt.Events = append(rt.Events, abs)
+			}
+			end := ex.Start + s.End
+			rt.Events = append(rt.Events, trace.Event{
+				Name: s.Context, Kind: trace.KindMarkEnd, Enter: end, Exit: end,
+				Peer: trace.NoPeer, Root: trace.NoPeer,
+			})
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,286 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/trace"
+)
+
+// buildLoopTrace makes a single-rank trace of n "main.1" iterations whose
+// do_work duration is given per iteration, bracketed by markers; comm is
+// omitted so segments differ only in timing.
+func buildLoopTrace(name string, workDurs []trace.Time) *trace.Trace {
+	t := trace.New(name, 1)
+	now := trace.Time(0)
+	add := func(e trace.Event) { t.Ranks[0].Events = append(t.Ranks[0].Events, e) }
+	for _, d := range workDurs {
+		add(trace.Event{Name: "main.1", Kind: trace.KindMarkBegin, Enter: now, Exit: now, Peer: trace.NoPeer, Root: trace.NoPeer})
+		add(trace.Event{Name: "do_work", Kind: trace.KindCompute, Enter: now, Exit: now + d, Peer: trace.NoPeer, Root: trace.NoPeer})
+		now += d
+		add(trace.Event{Name: "main.1", Kind: trace.KindMarkEnd, Enter: now, Exit: now, Peer: trace.NoPeer, Root: trace.NoPeer})
+		now += 2 // inter-iteration gap
+	}
+	return t
+}
+
+func TestReduceAllIdentical(t *testing.T) {
+	tr := buildLoopTrace("loop", []trace.Time{10, 10, 10, 10, 10})
+	red, err := Reduce(tr, NewAbsDiff(1))
+	if err != nil {
+		t.Fatalf("Reduce: %v", err)
+	}
+	if red.TotalSegments != 5 {
+		t.Errorf("TotalSegments = %d, want 5", red.TotalSegments)
+	}
+	if red.PossibleMatches != 4 {
+		t.Errorf("PossibleMatches = %d, want 4", red.PossibleMatches)
+	}
+	if red.Matches != 4 {
+		t.Errorf("Matches = %d, want 4", red.Matches)
+	}
+	if got := red.DegreeOfMatching(); got != 1 {
+		t.Errorf("DegreeOfMatching = %v, want 1", got)
+	}
+	if red.StoredSegments() != 1 {
+		t.Errorf("StoredSegments = %d, want 1", red.StoredSegments())
+	}
+	if len(red.Ranks[0].Execs) != 5 {
+		t.Errorf("Execs = %d, want 5", len(red.Ranks[0].Execs))
+	}
+}
+
+func TestReduceNoMatches(t *testing.T) {
+	tr := buildLoopTrace("loop", []trace.Time{10, 100, 1000, 10000})
+	red, err := Reduce(tr, NewAbsDiff(1))
+	if err != nil {
+		t.Fatalf("Reduce: %v", err)
+	}
+	if red.Matches != 0 || red.StoredSegments() != 4 {
+		t.Errorf("matches=%d stored=%d, want 0 and 4", red.Matches, red.StoredSegments())
+	}
+	if got := red.DegreeOfMatching(); got != 0 {
+		t.Errorf("DegreeOfMatching = %v, want 0", got)
+	}
+}
+
+func TestReduceDegreeWithNoPossibleMatches(t *testing.T) {
+	// A trace where every segment has a unique context admits no matches.
+	tr := trace.New("uniq", 1)
+	now := trace.Time(0)
+	for _, ctx := range []string{"init", "main.1", "final"} {
+		tr.Ranks[0].Events = append(tr.Ranks[0].Events,
+			trace.Event{Name: ctx, Kind: trace.KindMarkBegin, Enter: now, Exit: now, Peer: trace.NoPeer, Root: trace.NoPeer},
+			trace.Event{Name: "w", Kind: trace.KindCompute, Enter: now, Exit: now + 5, Peer: trace.NoPeer, Root: trace.NoPeer},
+			trace.Event{Name: ctx, Kind: trace.KindMarkEnd, Enter: now + 5, Exit: now + 5, Peer: trace.NoPeer, Root: trace.NoPeer},
+		)
+		now += 6
+	}
+	red, err := Reduce(tr, NewAbsDiff(1000))
+	if err != nil {
+		t.Fatalf("Reduce: %v", err)
+	}
+	if red.PossibleMatches != 0 {
+		t.Errorf("PossibleMatches = %d, want 0", red.PossibleMatches)
+	}
+	if got := red.DegreeOfMatching(); got != 1 {
+		t.Errorf("DegreeOfMatching with no possible matches = %v, want 1", got)
+	}
+}
+
+func TestReduceExecStartsExact(t *testing.T) {
+	durs := []trace.Time{10, 12, 9, 14, 10}
+	tr := buildLoopTrace("loop", durs)
+	red, err := Reduce(tr, NewAbsDiff(100))
+	if err != nil {
+		t.Fatalf("Reduce: %v", err)
+	}
+	var want trace.Time
+	for i, ex := range red.Ranks[0].Execs {
+		if ex.Start != want {
+			t.Errorf("exec %d start = %d, want %d", i, ex.Start, want)
+		}
+		want += durs[i] + 2
+	}
+}
+
+func TestReconstructIdentityWhenEverythingStored(t *testing.T) {
+	// absDiff(0) stores every non-identical segment, so reconstruction
+	// must reproduce the original trace exactly.
+	tr := buildLoopTrace("loop", []trace.Time{10, 12, 9, 14, 10})
+	red, err := Reduce(tr, NewAbsDiff(0))
+	if err != nil {
+		t.Fatalf("Reduce: %v", err)
+	}
+	recon, err := red.Reconstruct()
+	if err != nil {
+		t.Fatalf("Reconstruct: %v", err)
+	}
+	dist, err := ApproximationDistance(tr, recon, 1.0)
+	if err != nil {
+		t.Fatalf("ApproximationDistance: %v", err)
+	}
+	if dist != 0 {
+		t.Errorf("identity reconstruction has error %d", dist)
+	}
+}
+
+func TestReconstructStructurePreserved(t *testing.T) {
+	tr := buildLoopTrace("loop", []trace.Time{10, 50, 10, 50, 30})
+	red, err := Reduce(tr, NewAbsDiff(100)) // everything merges
+	if err != nil {
+		t.Fatalf("Reduce: %v", err)
+	}
+	recon, err := red.Reconstruct()
+	if err != nil {
+		t.Fatalf("Reconstruct: %v", err)
+	}
+	if recon.NumEvents() != tr.NumEvents() {
+		t.Fatalf("event count %d, want %d", recon.NumEvents(), tr.NumEvents())
+	}
+	for i := range tr.Ranks[0].Events {
+		o, r := tr.Ranks[0].Events[i], recon.Ranks[0].Events[i]
+		if o.Name != r.Name || o.Kind != r.Kind {
+			t.Fatalf("event %d identity changed: %v vs %v", i, o, r)
+		}
+	}
+	// Segment begin markers (exec starts) must be exact even when
+	// measurements are approximated.
+	for i, e := range tr.Ranks[0].Events {
+		if e.Kind == trace.KindMarkBegin {
+			if recon.Ranks[0].Events[i].Enter != e.Enter {
+				t.Errorf("begin marker %d moved: %d vs %d", i, recon.Ranks[0].Events[i].Enter, e.Enter)
+			}
+		}
+	}
+}
+
+func TestReconstructBadExecID(t *testing.T) {
+	tr := buildLoopTrace("loop", []trace.Time{10, 10})
+	red, err := Reduce(tr, NewAbsDiff(100))
+	if err != nil {
+		t.Fatalf("Reduce: %v", err)
+	}
+	red.Ranks[0].Execs[0].ID = 99
+	if _, err := red.Reconstruct(); err == nil {
+		t.Error("out-of-range exec ID must fail")
+	}
+}
+
+func TestReduceMultiRankIndependence(t *testing.T) {
+	// Per-task reduction: identical segments on different ranks must NOT
+	// share representatives (the paper reduces intra-process).
+	tr := trace.New("two", 2)
+	for r := 0; r < 2; r++ {
+		src := buildLoopTrace("x", []trace.Time{10, 10, 10})
+		tr.Ranks[r].Events = src.Ranks[0].Events
+	}
+	red, err := Reduce(tr, NewAbsDiff(100))
+	if err != nil {
+		t.Fatalf("Reduce: %v", err)
+	}
+	if len(red.Ranks[0].Stored) != 1 || len(red.Ranks[1].Stored) != 1 {
+		t.Errorf("per-rank stores = %d, %d; want 1 each", len(red.Ranks[0].Stored), len(red.Ranks[1].Stored))
+	}
+	if red.StoredSegments() != 2 {
+		t.Errorf("StoredSegments = %d, want 2 (one per rank)", red.StoredSegments())
+	}
+}
+
+func TestReduceIterK(t *testing.T) {
+	tr := buildLoopTrace("loop", []trace.Time{10, 20, 30, 40, 50, 60})
+	p, _ := NewIterK(2)
+	red, err := Reduce(tr, p)
+	if err != nil {
+		t.Fatalf("Reduce: %v", err)
+	}
+	if got := red.StoredSegments(); got != 2 {
+		t.Errorf("iter_k(2) stored %d, want 2", got)
+	}
+	// Executions beyond k reference the last stored copy.
+	for i, ex := range red.Ranks[0].Execs {
+		want := i
+		if i >= 2 {
+			want = 1
+		}
+		if ex.ID != want {
+			t.Errorf("exec %d -> stored %d, want %d", i, ex.ID, want)
+		}
+	}
+}
+
+func TestReduceIterAvg(t *testing.T) {
+	tr := buildLoopTrace("loop", []trace.Time{10, 20, 30})
+	red, err := Reduce(tr, NewIterAvg())
+	if err != nil {
+		t.Fatalf("Reduce: %v", err)
+	}
+	if got := red.StoredSegments(); got != 1 {
+		t.Fatalf("iter_avg stored %d, want 1", got)
+	}
+	rep := red.Ranks[0].Stored[0]
+	if rep.Weight != 3 {
+		t.Errorf("Weight = %d, want 3", rep.Weight)
+	}
+	// Mean of 10, 20, 30 with incremental integer averaging: (10+20)/2=15,
+	// (15*2+30)/3=20.
+	if rep.Events[0].Exit != 20 {
+		t.Errorf("averaged do_work exit = %d, want 20", rep.Events[0].Exit)
+	}
+}
+
+// TestQuickReduceInvariants: for random workloads and random thresholds,
+// the reduction bookkeeping must satisfy its structural invariants and
+// reconstruction must preserve event identity.
+func TestQuickReduceInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(20)
+		durs := make([]trace.Time, n)
+		for i := range durs {
+			durs[i] = trace.Time(1 + rng.Intn(100))
+		}
+		tr := buildLoopTrace("q", durs)
+		var p Policy
+		switch rng.Intn(4) {
+		case 0:
+			p = NewAbsDiff(float64(rng.Intn(200)))
+		case 1:
+			p = NewRelDiff(rng.Float64())
+		case 2:
+			p, _ = NewIterK(1 + rng.Intn(5))
+		default:
+			p = NewIterAvg()
+		}
+		red, err := Reduce(tr, p)
+		if err != nil {
+			return false
+		}
+		if red.TotalSegments != n || len(red.Ranks[0].Execs) != n {
+			return false
+		}
+		if red.Matches+red.StoredSegments() != red.TotalSegments {
+			return false
+		}
+		if red.Matches > red.PossibleMatches {
+			return false
+		}
+		recon, err := red.Reconstruct()
+		if err != nil {
+			return false
+		}
+		if recon.NumEvents() != tr.NumEvents() {
+			return false
+		}
+		for i := range tr.Ranks[0].Events {
+			if tr.Ranks[0].Events[i].Name != recon.Ranks[0].Events[i].Name {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,49 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/segment"
+)
+
+// sampleN implements the trace-sampling reduction the paper names as
+// future work (§6, citing Carrington and Vetter): instead of comparing
+// measurements, keep every n-th instance of each segment pattern and let
+// the most recent kept instance stand in for the skipped ones. n = 1
+// degenerates to keeping everything; large n approaches iter_k's data
+// volume with a different bias — samples spread across the run instead of
+// clustering at the start, so slowly-varying behaviour (dyn_load_balance)
+// is tracked better while short-lived anomalies can be missed entirely.
+type sampleN struct{ n int }
+
+// NewSampleN returns the systematic-sampling policy that keeps every n-th
+// instance of each pattern class. n must be >= 1.
+func NewSampleN(n int) (Policy, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("core: sample_n requires n >= 1, got %d", n)
+	}
+	return &sampleN{n: n}, nil
+}
+
+func (p *sampleN) Name() string { return "sample_n" }
+
+// Match consults the per-class instance count encoded in the stored
+// representatives' weights: the class has seen sum(Weight) instances so
+// far; instance i is kept iff i ≡ 0 (mod n). Skipped instances match the
+// most recently kept representative.
+func (p *sampleN) Match(stored []*segment.Segment, cand *segment.Segment) int {
+	seen := 0
+	for _, s := range stored {
+		seen += s.Weight
+	}
+	if seen%p.n == 0 {
+		return -1 // due for a fresh sample: keep cand verbatim
+	}
+	return len(stored) - 1
+}
+
+// Absorb counts the skipped instance against the representative so the
+// sampling cadence stays aligned with the run.
+func (p *sampleN) Absorb(matched, cand *segment.Segment) {
+	matched.Weight++
+}

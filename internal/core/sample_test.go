@@ -1,0 +1,108 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestSampleNValidation(t *testing.T) {
+	if _, err := NewSampleN(0); err == nil {
+		t.Error("n=0 must be rejected")
+	}
+	p, err := NewSampleN(3)
+	if err != nil {
+		t.Fatalf("NewSampleN: %v", err)
+	}
+	if p.Name() != "sample_n" {
+		t.Errorf("Name = %q", p.Name())
+	}
+}
+
+// TestSampleNCadence: with n=3 over 9 instances, instances 0, 3, 6 are
+// kept and the rest reference the most recent kept copy.
+func TestSampleNCadence(t *testing.T) {
+	durs := make([]trace.Time, 9)
+	for i := range durs {
+		durs[i] = trace.Time(10 + i)
+	}
+	tr := buildLoopTrace("loop", durs)
+	p, _ := NewSampleN(3)
+	red, err := Reduce(tr, p)
+	if err != nil {
+		t.Fatalf("Reduce: %v", err)
+	}
+	if got := red.StoredSegments(); got != 3 {
+		t.Fatalf("stored %d, want 3 (instances 0, 3, 6)", got)
+	}
+	wantIDs := []int{0, 0, 0, 1, 1, 1, 2, 2, 2}
+	for i, ex := range red.Ranks[0].Execs {
+		if ex.ID != wantIDs[i] {
+			t.Errorf("exec %d -> stored %d, want %d", i, ex.ID, wantIDs[i])
+		}
+	}
+	// Kept samples are spread across the run: the stored durations are
+	// those of iterations 0, 3, 6.
+	for i, want := range []trace.Time{10, 13, 16} {
+		if got := red.Ranks[0].Stored[i].Events[0].Duration(); got != want {
+			t.Errorf("stored %d duration = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestSampleNOneKeepsEverything(t *testing.T) {
+	tr := buildLoopTrace("loop", []trace.Time{10, 20, 30})
+	p, _ := NewSampleN(1)
+	red, err := Reduce(tr, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if red.StoredSegments() != 3 || red.Matches != 0 {
+		t.Errorf("n=1 should keep everything: stored=%d matches=%d", red.StoredSegments(), red.Matches)
+	}
+}
+
+// TestSampleNTracksDrift: on a slowly drifting workload, systematic
+// sampling reconstructs with less error than iter_k at equal data volume,
+// because its samples cover the whole run instead of the first k
+// iterations.
+func TestSampleNTracksDrift(t *testing.T) {
+	durs := make([]trace.Time, 40)
+	for i := range durs {
+		durs[i] = trace.Time(100 + 10*i) // steady drift
+	}
+	tr := buildLoopTrace("drift", durs)
+
+	sp, _ := NewSampleN(4) // keeps 10 of 40
+	sredu, err := Reduce(tr, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kp, _ := NewIterK(10) // also keeps 10 of 40
+	kredu, err := Reduce(tr, kp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sredu.StoredSegments() != kredu.StoredSegments() {
+		t.Fatalf("unequal data volume: %d vs %d", sredu.StoredSegments(), kredu.StoredSegments())
+	}
+	srec, err := sredu.Reconstruct()
+	if err != nil {
+		t.Fatal(err)
+	}
+	krec, err := kredu.Reconstruct()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sdist, err := ApproximationDistance(tr, srec, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kdist, err := ApproximationDistance(tr, krec, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sdist >= kdist {
+		t.Errorf("sampling should track drift better: sample %d vs iter_k %d", sdist, kdist)
+	}
+}

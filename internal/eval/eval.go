@@ -1,0 +1,228 @@
+package eval
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/cube"
+	"repro/internal/expert"
+	"repro/internal/trace"
+)
+
+// Result holds the four evaluation criteria for one
+// (workload, method, threshold) cell.
+type Result struct {
+	Workload  string
+	Method    string
+	Threshold float64
+
+	// PctSize is the reduced file size as a percentage of the full file
+	// (criterion 1).
+	PctSize float64
+	// Degree is the degree of matching: matches / possible matches
+	// (criterion 2).
+	Degree float64
+	// ApproxDist is the 90th-percentile absolute timestamp error of the
+	// reconstructed trace in time units (criterion 3).
+	ApproxDist trace.Time
+	// Retained reports whether the reconstructed trace kept the full
+	// trace's performance trends (criterion 4).
+	Retained bool
+	// Issues explains a false Retained.
+	Issues []string
+
+	// FullBytes and ReducedBytes are the raw encoded sizes.
+	FullBytes, ReducedBytes int64
+	// StoredSegments and TotalSegments describe the reduction shape.
+	StoredSegments, TotalSegments int
+	// Diag is the reconstructed trace's diagnosis (for chart rendering).
+	Diag *expert.Diagnosis
+}
+
+// Evaluate runs the complete pipeline for one cell: reduce the full trace
+// with the policy, measure sizes and matching, reconstruct, measure
+// timestamp error, re-analyze, and judge trend retention against the
+// full-trace diagnosis.
+func Evaluate(full *trace.Trace, fullDiag *expert.Diagnosis, method string, threshold float64) (*Result, error) {
+	p, err := core.NewMethod(method, threshold)
+	if err != nil {
+		return nil, err
+	}
+	red, err := core.Reduce(full, p)
+	if err != nil {
+		return nil, fmt.Errorf("eval: reducing %s with %s: %w", full.Name, method, err)
+	}
+	res, err := EvaluateReduced(full, fullDiag, red)
+	if err != nil {
+		return nil, err
+	}
+	res.Threshold = threshold
+	return res, nil
+}
+
+// EvaluateReduced scores an already-computed reduction against the full
+// trace and its diagnosis. Result.Threshold is left zero; Evaluate fills
+// it for threshold-study cells.
+func EvaluateReduced(full *trace.Trace, fullDiag *expert.Diagnosis, red *core.Reduced) (*Result, error) {
+	method := red.Method
+	sizes := core.Sizes(full, red)
+	recon, err := red.Reconstruct()
+	if err != nil {
+		return nil, fmt.Errorf("eval: reconstructing %s/%s: %w", full.Name, method, err)
+	}
+	dist, err := core.ApproximationDistance(full, recon, 0.9)
+	if err != nil {
+		return nil, fmt.Errorf("eval: approximation distance %s/%s: %w", full.Name, method, err)
+	}
+	diag, err := expert.Analyze(recon)
+	if err != nil {
+		return nil, fmt.Errorf("eval: analyzing reconstructed %s/%s: %w", full.Name, method, err)
+	}
+	verdict := cube.Compare(fullDiag, diag, cube.DefaultCompareOptions())
+	return &Result{
+		Workload:       full.Name,
+		Method:         method,
+		PctSize:        sizes.Percent(),
+		Degree:         red.DegreeOfMatching(),
+		ApproxDist:     dist,
+		Retained:       verdict.Retained,
+		Issues:         verdict.Issues,
+		FullBytes:      sizes.FullBytes,
+		ReducedBytes:   sizes.ReducedBytes,
+		StoredSegments: red.StoredSegments(),
+		TotalSegments:  red.TotalSegments,
+		Diag:           diag,
+	}, nil
+}
+
+// Runner caches workload traces and full-trace diagnoses across
+// evaluation cells and runs grids of cells in parallel.
+type Runner struct {
+	traces *traceCache
+
+	mu    sync.Mutex
+	diags map[string]*expert.Diagnosis
+}
+
+// NewRunner returns an empty runner.
+func NewRunner() *Runner {
+	return &Runner{traces: newTraceCache(), diags: map[string]*expert.Diagnosis{}}
+}
+
+// Trace returns the (cached) full trace of the named workload.
+func (r *Runner) Trace(workload string) (*trace.Trace, error) {
+	return r.traces.get(workload)
+}
+
+// Diagnosis returns the (cached) EXPERT diagnosis of the workload's full
+// trace.
+func (r *Runner) Diagnosis(workload string) (*expert.Diagnosis, error) {
+	r.mu.Lock()
+	d, ok := r.diags[workload]
+	r.mu.Unlock()
+	if ok {
+		return d, nil
+	}
+	t, err := r.Trace(workload)
+	if err != nil {
+		return nil, err
+	}
+	d, err = expert.Analyze(t)
+	if err != nil {
+		return nil, fmt.Errorf("eval: analyzing full trace of %s: %w", workload, err)
+	}
+	r.mu.Lock()
+	r.diags[workload] = d
+	r.mu.Unlock()
+	return d, nil
+}
+
+// Cell identifies one evaluation in a grid.
+type Cell struct {
+	Workload  string
+	Method    string
+	Threshold float64
+}
+
+// DefaultCell returns the cell for a method at its paper-default
+// threshold.
+func DefaultCell(workload, method string) Cell {
+	return Cell{Workload: workload, Method: method, Threshold: core.DefaultThresholds[method]}
+}
+
+// Run evaluates one cell.
+func (r *Runner) Run(c Cell) (*Result, error) {
+	full, err := r.Trace(c.Workload)
+	if err != nil {
+		return nil, err
+	}
+	fullDiag, err := r.Diagnosis(c.Workload)
+	if err != nil {
+		return nil, err
+	}
+	return Evaluate(full, fullDiag, c.Method, c.Threshold)
+}
+
+// RunGrid evaluates the given cells concurrently (bounded by GOMAXPROCS
+// workers) and returns results in cell order. The first error aborts the
+// grid.
+func (r *Runner) RunGrid(cells []Cell) ([]*Result, error) {
+	// Pre-generate traces sequentially so the workers don't all stampede
+	// into the same cache entry (sync.Once already serializes, but this
+	// keeps memory growth predictable).
+	seen := map[string]bool{}
+	for _, c := range cells {
+		if !seen[c.Workload] {
+			seen[c.Workload] = true
+			if _, err := r.Diagnosis(c.Workload); err != nil {
+				return nil, err
+			}
+		}
+	}
+	results := make([]*Result, len(cells))
+	errs := make([]error, len(cells))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, c := range cells {
+		wg.Add(1)
+		go func(i int, c Cell) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i], errs[i] = r.Run(c)
+		}(i, c)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// GridDefault builds the comparative-study grid: every workload × every
+// method at default thresholds.
+func GridDefault(workloads, methods []string) []Cell {
+	var cells []Cell
+	for _, w := range workloads {
+		for _, m := range methods {
+			cells = append(cells, DefaultCell(w, m))
+		}
+	}
+	return cells
+}
+
+// GridSweep builds the threshold-study grid for one method: every
+// workload × every threshold in the method's sweep.
+func GridSweep(workloads []string, method string) []Cell {
+	var cells []Cell
+	for _, w := range workloads {
+		for _, t := range core.ThresholdSweep(method) {
+			cells = append(cells, Cell{Workload: w, Method: method, Threshold: t})
+		}
+	}
+	return cells
+}

@@ -1,0 +1,168 @@
+// Package eval assembles the paper's evaluation: the catalog of 18
+// workload traces (five regular benchmarks, ten interference benchmarks,
+// dyn_load_balance, and two Sweep3D runs), the per-(workload, method,
+// threshold) evaluation pipeline computing all four criteria, and the
+// threshold/comparative studies behind every figure and table.
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/ats"
+	"repro/internal/mpisim"
+	"repro/internal/sweep3d"
+	"repro/internal/trace"
+)
+
+// Workload names one of the evaluation's traces and knows how to build
+// it.
+type Workload struct {
+	// Name is the trace name ("late_sender", "1to1r_1024", ...).
+	Name string
+	// Group is "regular", "interference", "dynamic", or "application".
+	Group string
+	// Ranks is the process count.
+	Ranks int
+	// Build constructs the program and cost model.
+	Build func() (*mpisim.Program, mpisim.Config, error)
+}
+
+// fromBenchmark adapts an ats.Benchmark into a Workload.
+func fromBenchmark(group string, mk func() *ats.Benchmark) Workload {
+	b := mk() // build once for metadata; rebuilt on demand
+	return Workload{
+		Name:  b.Name,
+		Group: group,
+		Ranks: b.Program.NumRanks(),
+		Build: func() (*mpisim.Program, mpisim.Config, error) {
+			nb := mk()
+			return nb.Program, nb.Config, nil
+		},
+	}
+}
+
+// Catalog returns the paper's 18 workloads in presentation order.
+func Catalog() []Workload {
+	var ws []Workload
+	reg := ats.DefaultParams()
+	for _, mk := range []func(ats.Params) *ats.Benchmark{
+		ats.EarlyGather, ats.ImbalanceAtBarrier, ats.LateReceiver, ats.LateSender, ats.LateBroadcast,
+	} {
+		mk := mk
+		ws = append(ws, fromBenchmark("regular", func() *ats.Benchmark { return mk(reg) }))
+	}
+	intf := ats.InterferenceParams()
+	for _, sim := range []int{32, 1024} {
+		for _, pat := range []ats.InterferencePattern{
+			ats.PatternNto1, ats.PatternNtoN, ats.Pattern1toN, ats.Pattern1to1r, ats.Pattern1to1s,
+		} {
+			sim, pat := sim, pat
+			ws = append(ws, fromBenchmark("interference",
+				func() *ats.Benchmark { return ats.Interference(intf, pat, sim) }))
+		}
+	}
+	dyn := ats.DefaultParams()
+	dyn.Iterations = 64
+	ws = append(ws, fromBenchmark("dynamic", func() *ats.Benchmark { return ats.DynLoadBalance(dyn) }))
+	ws = append(ws,
+		Workload{Name: "sweep3d_8p", Group: "application", Ranks: sweep3d.Input50().Ranks(),
+			Build: func() (*mpisim.Program, mpisim.Config, error) {
+				p, err := sweep3d.Build("sweep3d_8p", sweep3d.Input50())
+				return p, mpisim.DefaultConfig(), err
+			}},
+		Workload{Name: "sweep3d_32p", Group: "application", Ranks: sweep3d.Input150().Ranks(),
+			Build: func() (*mpisim.Program, mpisim.Config, error) {
+				p, err := sweep3d.Build("sweep3d_32p", sweep3d.Input150())
+				return p, mpisim.DefaultConfig(), err
+			}},
+	)
+	return ws
+}
+
+// BenchmarkNames returns the 16 non-application workload names (the set
+// the paper's Figures 9–16 sweep).
+func BenchmarkNames() []string {
+	var names []string
+	for _, w := range Catalog() {
+		if w.Group != "application" {
+			names = append(names, w.Name)
+		}
+	}
+	return names
+}
+
+// ApplicationNames returns the two Sweep3D workload names.
+func ApplicationNames() []string { return []string{"sweep3d_8p", "sweep3d_32p"} }
+
+// AllNames returns all 18 workload names in catalog order.
+func AllNames() []string {
+	var names []string
+	for _, w := range Catalog() {
+		names = append(names, w.Name)
+	}
+	return names
+}
+
+// Lookup finds a workload by name.
+func Lookup(name string) (Workload, error) {
+	for _, w := range Catalog() {
+		if w.Name == name {
+			return w, nil
+		}
+	}
+	var known []string
+	for _, w := range Catalog() {
+		known = append(known, w.Name)
+	}
+	sort.Strings(known)
+	return Workload{}, fmt.Errorf("eval: unknown workload %q (known: %v)", name, known)
+}
+
+// Generate builds and simulates the workload, producing its full trace.
+func (w Workload) Generate() (*trace.Trace, error) {
+	prog, cfg, err := w.Build()
+	if err != nil {
+		return nil, fmt.Errorf("eval: building %s: %w", w.Name, err)
+	}
+	t, err := mpisim.Run(prog, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("eval: simulating %s: %w", w.Name, err)
+	}
+	return t, nil
+}
+
+// traceCache memoizes generated traces; the studies reuse each trace
+// across dozens of (method, threshold) cells.
+type traceCache struct {
+	mu sync.Mutex
+	m  map[string]*cacheEntry
+}
+
+type cacheEntry struct {
+	once sync.Once
+	t    *trace.Trace
+	err  error
+}
+
+func newTraceCache() *traceCache { return &traceCache{m: map[string]*cacheEntry{}} }
+
+func (c *traceCache) get(name string) (*trace.Trace, error) {
+	c.mu.Lock()
+	e, ok := c.m[name]
+	if !ok {
+		e = &cacheEntry{}
+		c.m[name] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		w, err := Lookup(name)
+		if err != nil {
+			e.err = err
+			return
+		}
+		e.t, e.err = w.Generate()
+	})
+	return e.t, e.err
+}

@@ -1,0 +1,328 @@
+// Package expert is this repository's stand-in for the KOJAK EXPERT
+// analyzer: it reads an event trace (original or reconstructed) and
+// produces performance diagnoses — (metric, code location, per-rank
+// severity) triples — for the inefficiency patterns the paper's
+// benchmarks plant: Late Sender, Late Receiver, Early Gather/Reduce,
+// Late Broadcast, Wait at Barrier and Wait at N×N, plus plain per-
+// location execution time.
+//
+// Pairing is positional, as in MPI semantics: the k-th send on a
+// (src,dst,tag) channel matches the k-th receive, and the k-th collective
+// call of every rank forms one instance. Reduction preserves per-rank
+// event order, so the pairing survives reconstruction even when
+// timestamps skew.
+//
+// Like the real EXPERT, the analyzer behaves as a consumer of the merged,
+// time-ordered event stream: an event's effective exit is clipped at the
+// next event's entry on the same rank. Faithful traces are unaffected
+// (events never overlap), but reconstructed traces whose representative
+// segments are longer or shorter than the executions they stand in for
+// produce overlaps — and then clipped, even *negative*, severities. This
+// nonlinearity is what lets averaging methods (iter_avg) and coarse
+// matches lose diagnoses, and it reproduces the negative severities the
+// paper observed for several methods. Point-to-point and rooted-
+// collective severities are additionally unclamped (e.g. Late Sender =
+// send.enter − recv.enter), a second source of sign flips under skew.
+package expert
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/trace"
+)
+
+// Metric identifiers.
+const (
+	// MetricExecution is inclusive time per location per rank.
+	MetricExecution = "execution"
+	// MetricLateSender is receiver blocking caused by a late eager send.
+	MetricLateSender = "late_sender"
+	// MetricLateReceiver is sender blocking in a synchronous send caused
+	// by a late receive.
+	MetricLateReceiver = "late_receiver"
+	// MetricEarlyGather is root waiting in Gather/Reduce for the last
+	// contributor (KOJAK: Early Reduce / Wait at N×1).
+	MetricEarlyGather = "early_gather"
+	// MetricLateBroadcast is non-root waiting in Bcast for the root.
+	MetricLateBroadcast = "late_broadcast"
+	// MetricWaitBarrier is time from barrier entry to the last entry.
+	MetricWaitBarrier = "wait_barrier"
+	// MetricWaitNxN is the same wait in N-to-N collectives.
+	MetricWaitNxN = "wait_nxn"
+)
+
+// MetricNames lists all metrics the analyzer produces.
+var MetricNames = []string{
+	MetricExecution, MetricLateSender, MetricLateReceiver,
+	MetricEarlyGather, MetricLateBroadcast, MetricWaitBarrier, MetricWaitNxN,
+}
+
+// Abbrev returns the short chart label used in the paper's figures
+// (e.g. "NN" for Wait at N×N, "LS" for Late Sender).
+func Abbrev(metric string) string {
+	switch metric {
+	case MetricExecution:
+		return "EX"
+	case MetricLateSender:
+		return "LS"
+	case MetricLateReceiver:
+		return "LR"
+	case MetricEarlyGather:
+		return "N1"
+	case MetricLateBroadcast:
+		return "1N"
+	case MetricWaitBarrier:
+		return "BA"
+	case MetricWaitNxN:
+		return "NN"
+	}
+	return metric
+}
+
+// Key addresses one diagnosis cell: a metric at a code location.
+type Key struct {
+	Metric   string
+	Location string
+}
+
+func (k Key) String() string { return k.Metric + "@" + k.Location }
+
+// Diagnosis is the analyzer's output for one trace.
+type Diagnosis struct {
+	// Name is the analyzed trace's name.
+	Name string
+	// NumRanks is the process count.
+	NumRanks int
+	// WallTime is the trace's end time (µs), the normalization basis for
+	// significance decisions.
+	WallTime float64
+	// Sev maps each (metric, location) to the per-rank severity vector
+	// in µs. Severities of wait metrics may be negative on skewed traces.
+	Sev map[Key][]float64
+}
+
+// Keys returns the diagnosis cells in deterministic (metric, location)
+// order.
+func (d *Diagnosis) Keys() []Key {
+	keys := make([]Key, 0, len(d.Sev))
+	for k := range d.Sev {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Metric != keys[j].Metric {
+			return keys[i].Metric < keys[j].Metric
+		}
+		return keys[i].Location < keys[j].Location
+	})
+	return keys
+}
+
+// Total returns the sum of the severity vector for k (0 if absent).
+func (d *Diagnosis) Total(k Key) float64 {
+	var sum float64
+	for _, v := range d.Sev[k] {
+		sum += v
+	}
+	return sum
+}
+
+// MaxAbs returns the largest |severity| over all cells and ranks.
+func (d *Diagnosis) MaxAbs() float64 {
+	var m float64
+	for _, v := range d.Sev {
+		for _, x := range v {
+			if x < 0 {
+				x = -x
+			}
+			if x > m {
+				m = x
+			}
+		}
+	}
+	return m
+}
+
+func (d *Diagnosis) add(metric, location string, rank int, amount float64) {
+	k := Key{Metric: metric, Location: location}
+	v, ok := d.Sev[k]
+	if !ok {
+		v = make([]float64, d.NumRanks)
+		d.Sev[k] = v
+	}
+	v[rank] += amount
+}
+
+// p2pEvent is one side of a point-to-point operation in stream order.
+type p2pEvent struct {
+	rank int
+	ev   trace.Event
+}
+
+// clipExits returns rank r's non-marker events with each event's Exit
+// clipped to the next event's Enter — the view a merged time-ordered
+// consumer has of a (possibly skewed) trace. Durations can come out
+// negative when reconstruction error makes an event start before its
+// predecessor nominally ends.
+func clipExits(rt *trace.RankTrace) []trace.Event {
+	out := make([]trace.Event, 0, len(rt.Events))
+	for _, e := range rt.Events {
+		if e.Kind.IsMarker() {
+			continue
+		}
+		out = append(out, e)
+	}
+	for i := 0; i+1 < len(out); i++ {
+		if out[i].Exit > out[i+1].Enter {
+			out[i].Exit = out[i+1].Enter
+		}
+	}
+	return out
+}
+
+// Analyze runs the pattern analysis over t.
+func Analyze(t *trace.Trace) (*Diagnosis, error) {
+	d := &Diagnosis{
+		Name:     t.Name,
+		NumRanks: t.NumRanks(),
+		WallTime: float64(t.EndTime()),
+		Sev:      map[Key][]float64{},
+	}
+	type chanKey struct {
+		src, dst int
+		tag      int32
+	}
+	sends := map[chanKey][]p2pEvent{}
+	recvs := map[chanKey][]p2pEvent{}
+	colls := make([][]trace.Event, t.NumRanks())
+	for r := range t.Ranks {
+		for _, e := range clipExits(&t.Ranks[r]) {
+			d.add(MetricExecution, e.Name, r, float64(e.Duration()))
+			switch {
+			case e.Kind == trace.KindSend || e.Kind == trace.KindSsend:
+				k := chanKey{src: r, dst: int(e.Peer), tag: e.Tag}
+				sends[k] = append(sends[k], p2pEvent{rank: r, ev: e})
+			case e.Kind == trace.KindRecv:
+				k := chanKey{src: int(e.Peer), dst: r, tag: e.Tag}
+				recvs[k] = append(recvs[k], p2pEvent{rank: r, ev: e})
+			case e.Kind.IsCollective():
+				colls[r] = append(colls[r], e)
+			}
+		}
+	}
+
+	// Point-to-point patterns: positional pairing per channel.
+	for k, ss := range sends {
+		rr := recvs[k]
+		if len(rr) != len(ss) {
+			return nil, fmt.Errorf("expert: channel %d->%d tag %d has %d sends but %d recvs",
+				k.src, k.dst, k.tag, len(ss), len(rr))
+		}
+		for i := range ss {
+			s, r := ss[i], rr[i]
+			switch s.ev.Kind {
+			case trace.KindSend:
+				// Waiting cannot extend past the receive's (clipped) exit.
+				wait := minTime(s.ev.Enter, r.ev.Exit) - r.ev.Enter
+				d.add(MetricLateSender, r.ev.Name, r.rank, float64(wait))
+			case trace.KindSsend:
+				wait := minTime(r.ev.Enter, s.ev.Exit) - s.ev.Enter
+				d.add(MetricLateReceiver, s.ev.Name, s.rank, float64(wait))
+				// In a rendezvous the receiver also blocks when the sender
+				// is late — the Late Sender pattern on the receive side.
+				rwait := minTime(s.ev.Enter, r.ev.Exit) - r.ev.Enter
+				d.add(MetricLateSender, r.ev.Name, r.rank, float64(rwait))
+			}
+		}
+	}
+	for k, rr := range recvs {
+		if _, ok := sends[k]; !ok && len(rr) > 0 {
+			return nil, fmt.Errorf("expert: channel %d->%d tag %d has %d recvs but no sends",
+				k.src, k.dst, k.tag, len(rr))
+		}
+	}
+
+	// Collective patterns: the k-th collective call of every rank forms
+	// one instance (collectives are globally ordered per communicator).
+	n := 0
+	for r := range colls {
+		if len(colls[r]) > n {
+			n = len(colls[r])
+		}
+	}
+	for i := 0; i < n; i++ {
+		var inst []trace.Event
+		for r := range colls {
+			if i >= len(colls[r]) {
+				return nil, fmt.Errorf("expert: rank %d has %d collective calls, others have more", r, len(colls[r]))
+			}
+			inst = append(inst, colls[r][i])
+		}
+		if err := analyzeCollective(d, inst); err != nil {
+			return nil, fmt.Errorf("expert: collective occurrence %d: %w", i, err)
+		}
+	}
+	return d, nil
+}
+
+// analyzeCollective scores one collective instance; inst is indexed by
+// rank.
+func analyzeCollective(d *Diagnosis, inst []trace.Event) error {
+	kind, name, root := inst[0].Kind, inst[0].Name, inst[0].Root
+	var lastEnter trace.Time
+	for r, e := range inst {
+		if e.Kind != kind || e.Name != name || e.Root != root {
+			return fmt.Errorf("rank %d calls %s(%s root=%d), rank 0 calls %s(%s root=%d)",
+				r, e.Name, e.Kind, e.Root, name, kind, root)
+		}
+		if e.Enter > lastEnter {
+			lastEnter = e.Enter
+		}
+	}
+	switch kind {
+	case trace.KindBarrier:
+		for r, e := range inst {
+			d.add(MetricWaitBarrier, name, r, float64(minTime(lastEnter, e.Exit)-e.Enter))
+		}
+	case trace.KindAllgather, trace.KindAlltoall, trace.KindAllreduce:
+		for r, e := range inst {
+			d.add(MetricWaitNxN, name, r, float64(minTime(lastEnter, e.Exit)-e.Enter))
+		}
+	case trace.KindGather, trace.KindReduce:
+		// Root waits for the last contributor; unclamped, so a root that
+		// arrives last reports negative severity.
+		var lastOther trace.Time
+		first := true
+		for r, e := range inst {
+			if int32(r) == root {
+				continue
+			}
+			if first || e.Enter > lastOther {
+				lastOther = e.Enter
+				first = false
+			}
+		}
+		if !first {
+			re := inst[root]
+			d.add(MetricEarlyGather, name, int(root), float64(minTime(lastOther, re.Exit)-re.Enter))
+		}
+	case trace.KindBcast:
+		rootEnter := inst[root].Enter
+		for r, e := range inst {
+			if int32(r) == root {
+				continue
+			}
+			d.add(MetricLateBroadcast, name, r, float64(minTime(rootEnter, e.Exit)-e.Enter))
+		}
+	default:
+		return fmt.Errorf("unexpected collective kind %s", kind)
+	}
+	return nil
+}
+
+func minTime(a, b trace.Time) trace.Time {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,205 @@
+// Package mpisim is a deterministic discrete-event simulator for
+// message-passing programs. It stands in for the paper's Linux cluster +
+// MPI substrate: per-rank programs are built with an MPI-like builder API
+// (compute phases, eager and synchronous sends, blocking receives,
+// collectives, segment markers) and executed under a configurable
+// latency/bandwidth/overhead cost model, producing the same event traces
+// — in particular the same wait structures (late senders, blocked
+// broadcasts, barrier imbalance) — that the paper's instrumentation
+// collected on real hardware.
+//
+// The simulator is a fixpoint scheduler over static per-rank operation
+// lists, not goroutines: an operation executes as soon as its inputs are
+// known, so identical programs always produce identical traces.
+package mpisim
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// Time re-exports the trace time unit (microseconds).
+type Time = trace.Time
+
+type opKind uint8
+
+const (
+	opCompute opKind = iota
+	opSend
+	opSsend
+	opRecv
+	opColl
+	opMarkBegin
+	opMarkEnd
+)
+
+type op struct {
+	kind  opKind
+	name  string          // function name or segment context
+	dur   Time            // compute duration
+	peer  int             // partner rank for point-to-point
+	tag   int             // message tag
+	bytes int64           // payload size
+	root  int             // collective root
+	coll  trace.EventKind // collective event kind
+}
+
+// Program is a complete message-passing program: one operation list per
+// rank, built through the Rank builders.
+type Program struct {
+	name  string
+	ranks []*RankProgram
+}
+
+// NewProgram returns an empty program for n ranks named name (the name
+// becomes the trace name).
+func NewProgram(name string, n int) *Program {
+	if n < 1 {
+		panic("mpisim: program needs at least one rank")
+	}
+	p := &Program{name: name, ranks: make([]*RankProgram, n)}
+	for i := range p.ranks {
+		p.ranks[i] = &RankProgram{rank: i, nranks: n}
+	}
+	return p
+}
+
+// Name returns the program name.
+func (p *Program) Name() string { return p.name }
+
+// NumRanks returns the number of ranks.
+func (p *Program) NumRanks() int { return len(p.ranks) }
+
+// Rank returns the builder for rank i.
+func (p *Program) Rank(i int) *RankProgram { return p.ranks[i] }
+
+// ForAll invokes f once per rank with that rank's builder, a convenience
+// for SPMD-style program construction.
+func (p *Program) ForAll(f func(rank int, r *RankProgram)) {
+	for i, r := range p.ranks {
+		f(i, r)
+	}
+}
+
+// NumOps returns the total operation count over all ranks.
+func (p *Program) NumOps() int {
+	n := 0
+	for _, r := range p.ranks {
+		n += len(r.ops)
+	}
+	return n
+}
+
+// RankProgram builds one rank's operation list.
+type RankProgram struct {
+	rank   int
+	nranks int
+	ops    []op
+}
+
+// Rank returns the rank this builder belongs to.
+func (r *RankProgram) Rank() int { return r.rank }
+
+func (r *RankProgram) add(o op) { r.ops = append(r.ops, o) }
+
+// Compute appends a computation phase of the given duration, traced under
+// name (e.g. "do_work"). System noise, if configured, stretches the
+// phase's wall-clock time.
+func (r *RankProgram) Compute(name string, dur Time) {
+	if dur < 0 {
+		panic(fmt.Sprintf("mpisim: negative compute duration %d", dur))
+	}
+	r.add(op{kind: opCompute, name: name, dur: dur})
+}
+
+// Send appends an eager (buffered, non-blocking-completion) send to dst.
+func (r *RankProgram) Send(dst, tag int, bytes int64) {
+	r.checkPeer(dst)
+	r.add(op{kind: opSend, name: "MPI_Send", peer: dst, tag: tag, bytes: bytes})
+}
+
+// Ssend appends a synchronous send to dst: the sender blocks until the
+// receiver posts the matching receive (rendezvous), the semantics behind
+// the late_receiver inefficiency.
+func (r *RankProgram) Ssend(dst, tag int, bytes int64) {
+	r.checkPeer(dst)
+	r.add(op{kind: opSsend, name: "MPI_Ssend", peer: dst, tag: tag, bytes: bytes})
+}
+
+// Recv appends a blocking receive from src.
+func (r *RankProgram) Recv(src, tag int, bytes int64) {
+	r.checkPeer(src)
+	r.add(op{kind: opRecv, name: "MPI_Recv", peer: src, tag: tag, bytes: bytes})
+}
+
+// Sendrecv appends an eager send to dst followed by a blocking receive
+// from src, the usual neighbour-exchange idiom.
+func (r *RankProgram) Sendrecv(dst, src, tag int, bytes int64) {
+	r.Send(dst, tag, bytes)
+	r.Recv(src, tag, bytes)
+}
+
+// Bcast appends a broadcast rooted at root: non-root ranks block until
+// the root enters (late_broadcast).
+func (r *RankProgram) Bcast(root int, bytes int64) {
+	r.checkPeer(root)
+	r.add(op{kind: opColl, name: "MPI_Bcast", coll: trace.KindBcast, root: root, bytes: bytes})
+}
+
+// Gather appends a gather rooted at root: the root blocks until the last
+// contributor enters (early_gather).
+func (r *RankProgram) Gather(root int, bytes int64) {
+	r.checkPeer(root)
+	r.add(op{kind: opColl, name: "MPI_Gather", coll: trace.KindGather, root: root, bytes: bytes})
+}
+
+// Reduce appends a reduction rooted at root, with gather-like blocking.
+func (r *RankProgram) Reduce(root int, bytes int64) {
+	r.checkPeer(root)
+	r.add(op{kind: opColl, name: "MPI_Reduce", coll: trace.KindReduce, root: root, bytes: bytes})
+}
+
+// Barrier appends a barrier: every rank blocks until the last arrives.
+func (r *RankProgram) Barrier() {
+	r.add(op{kind: opColl, name: "MPI_Barrier", coll: trace.KindBarrier, root: -1})
+}
+
+// Allgather appends an allgather; all ranks leave together.
+func (r *RankProgram) Allgather(bytes int64) {
+	r.add(op{kind: opColl, name: "MPI_Allgather", coll: trace.KindAllgather, root: -1, bytes: bytes})
+}
+
+// Alltoall appends an all-to-all exchange; all ranks leave together.
+func (r *RankProgram) Alltoall(bytes int64) {
+	r.add(op{kind: opColl, name: "MPI_Alltoall", coll: trace.KindAlltoall, root: -1, bytes: bytes})
+}
+
+// Allreduce appends an allreduce; all ranks leave together.
+func (r *RankProgram) Allreduce(bytes int64) {
+	r.add(op{kind: opColl, name: "MPI_Allreduce", coll: trace.KindAllreduce, root: -1, bytes: bytes})
+}
+
+// BeginSegment appends a segment-begin marker for the hierarchical
+// context ctx ("main.1"). Segments must not nest.
+func (r *RankProgram) BeginSegment(ctx string) {
+	r.add(op{kind: opMarkBegin, name: ctx})
+}
+
+// EndSegment appends the matching segment-end marker.
+func (r *RankProgram) EndSegment(ctx string) {
+	r.add(op{kind: opMarkEnd, name: ctx})
+}
+
+// InSegment brackets body() with Begin/EndSegment(ctx).
+func (r *RankProgram) InSegment(ctx string, body func()) {
+	r.BeginSegment(ctx)
+	body()
+	r.EndSegment(ctx)
+}
+
+func (r *RankProgram) checkPeer(p int) {
+	if p < 0 || p >= r.nranks {
+		panic(fmt.Sprintf("mpisim: rank %d references peer %d of %d ranks", r.rank, p, r.nranks))
+	}
+}

@@ -1,0 +1,73 @@
+package mpisim
+
+import "testing"
+
+func TestNewProgramValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewProgram(0) must panic")
+		}
+	}()
+	NewProgram("t", 0)
+}
+
+func TestPeerValidation(t *testing.T) {
+	p := NewProgram("t", 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range peer must panic")
+		}
+	}()
+	p.Rank(0).Send(5, 0, 8)
+}
+
+func TestNegativeComputePanics(t *testing.T) {
+	p := NewProgram("t", 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("negative compute duration must panic")
+		}
+	}()
+	p.Rank(0).Compute("w", -1)
+}
+
+func TestForAllAndNumOps(t *testing.T) {
+	p := NewProgram("prog", 3)
+	if p.Name() != "prog" || p.NumRanks() != 3 {
+		t.Errorf("metadata wrong: %q %d", p.Name(), p.NumRanks())
+	}
+	p.ForAll(func(rank int, r *RankProgram) {
+		if r.Rank() != rank {
+			t.Errorf("builder rank %d != %d", r.Rank(), rank)
+		}
+		r.InSegment("s", func() {
+			r.Compute("w", 1)
+		})
+	})
+	// Each rank: begin + compute + end = 3 ops.
+	if got := p.NumOps(); got != 9 {
+		t.Errorf("NumOps = %d, want 9", got)
+	}
+}
+
+func TestBuilderOpKinds(t *testing.T) {
+	p := NewProgram("t", 2)
+	r := p.Rank(0)
+	r.InSegment("s", func() {
+		r.Compute("w", 1)
+		r.Send(1, 0, 8)
+		r.Ssend(1, 0, 8)
+		r.Recv(1, 0, 8)
+		r.Bcast(0, 8)
+		r.Gather(0, 8)
+		r.Reduce(0, 8)
+		r.Barrier()
+		r.Allgather(8)
+		r.Alltoall(8)
+		r.Allreduce(8)
+	})
+	// 11 body ops + 2 markers.
+	if got := len(p.ranks[0].ops); got != 13 {
+		t.Errorf("op count = %d, want 13", got)
+	}
+}

@@ -1,0 +1,377 @@
+package mpisim
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// Noise models system interference: Stretch returns the wall-clock time a
+// compute phase of length dur occupies when it starts at start on rank.
+// A nil Noise means an undisturbed machine (Stretch ≡ dur).
+type Noise interface {
+	Stretch(rank int, start, dur Time) Time
+}
+
+// Config is the simulator cost model. The defaults (DefaultConfig) are
+// loosely calibrated to a mid-2000s Linux cluster: a few microseconds of
+// MPI call overhead, ~10 µs network latency, ~1 byte/ns bandwidth.
+type Config struct {
+	// PtPOverhead is the software overhead of a point-to-point call.
+	PtPOverhead Time
+	// CollOverhead is the software overhead of a collective call.
+	CollOverhead Time
+	// Latency is the network latency added to every message transfer.
+	Latency Time
+	// BytesPerUnit is the bandwidth in payload bytes per time unit
+	// (bytes per microsecond); 1000 ≈ 1 GB/s.
+	BytesPerUnit int64
+	// Noise optionally injects system interference into compute phases.
+	Noise Noise
+}
+
+// DefaultConfig returns the standard cost model used by the evaluation.
+func DefaultConfig() Config {
+	return Config{PtPOverhead: 2, CollOverhead: 5, Latency: 10, BytesPerUnit: 1000}
+}
+
+// transfer returns the wire time of a message of the given size.
+func (c *Config) transfer(bytes int64) Time {
+	bw := c.BytesPerUnit
+	if bw <= 0 {
+		bw = 1000
+	}
+	return c.Latency + bytes/bw
+}
+
+func (c *Config) stretch(rank int, start, dur Time) Time {
+	if c.Noise == nil {
+		return dur
+	}
+	w := c.Noise.Stretch(rank, start, dur)
+	if w < dur {
+		return dur
+	}
+	return w
+}
+
+// chanKey identifies a point-to-point channel; messages on a channel
+// match in FIFO order, as in MPI.
+type chanKey struct {
+	src, dst, tag int
+}
+
+// message is a send that has been reached by its sender.
+type message struct {
+	sync      bool // true for Ssend rendezvous
+	bytes     int64
+	arrival   Time // eager: earliest time the payload is at the receiver
+	sendReady Time // sync: when the sender entered Ssend
+	sendOp    int  // sync: sender's op index (to emit its event later)
+}
+
+// rankState is the scheduler's per-rank cursor.
+type rankState struct {
+	pc        int
+	ready     Time // when the next op may start
+	inColl    bool // blocked inside a collective instance
+	inSync    bool // blocked inside an Ssend rendezvous
+	recvCount map[chanKey]int
+}
+
+// collInstance tracks one global collective occurrence.
+type collInstance struct {
+	kind    trace.EventKind
+	name    string
+	root    int
+	bytes   int64
+	ready   []Time
+	seen    []bool
+	arrived int
+}
+
+// sim is one simulation run.
+type sim struct {
+	cfg    Config
+	prog   *Program
+	states []rankState
+	chans  map[chanKey][]message
+	colls  []*collInstance
+	collIx []int
+	out    *trace.Trace
+}
+
+// Run executes the program under the given cost model and returns the
+// resulting application trace. It fails on communication errors the
+// benchmarks must not commit: mismatched collectives, deadlock, or
+// mismatched point-to-point payload sizes.
+func Run(p *Program, cfg Config) (*trace.Trace, error) {
+	s := &sim{
+		cfg:    cfg,
+		prog:   p,
+		states: make([]rankState, p.NumRanks()),
+		chans:  map[chanKey][]message{},
+		collIx: make([]int, p.NumRanks()),
+		out:    trace.New(p.Name(), p.NumRanks()),
+	}
+	for i := range s.states {
+		s.states[i].recvCount = map[chanKey]int{}
+	}
+	for {
+		progressed := false
+		alldone := true
+		for r := range s.states {
+			moved, done, err := s.step(r)
+			if err != nil {
+				return nil, err
+			}
+			progressed = progressed || moved
+			alldone = alldone && done
+		}
+		if alldone {
+			break
+		}
+		if !progressed {
+			return nil, s.deadlockError()
+		}
+	}
+	if err := s.out.Validate(); err != nil {
+		return nil, fmt.Errorf("mpisim: generated invalid trace: %w", err)
+	}
+	return s.out, nil
+}
+
+// step attempts to execute rank r's next operation. It returns whether
+// the rank made progress and whether it has finished its program.
+func (s *sim) step(r int) (moved, done bool, err error) {
+	st := &s.states[r]
+	ops := s.prog.ranks[r].ops
+	// Keep executing ops that are immediately runnable; this makes the
+	// outer fixpoint loop cheap (most ops retire in one pass).
+	for {
+		if st.pc >= len(ops) {
+			return moved, true, nil
+		}
+		if st.inColl || st.inSync {
+			return moved, false, nil
+		}
+		o := &ops[st.pc]
+		ran, err := s.exec(r, o)
+		if err != nil {
+			return moved, false, err
+		}
+		if !ran {
+			return moved, false, nil
+		}
+		moved = true
+	}
+}
+
+// exec runs a single op if possible. It may advance other ranks (the
+// last arrival completes a collective; a receive completes a rendezvous).
+func (s *sim) exec(r int, o *op) (bool, error) {
+	st := &s.states[r]
+	switch o.kind {
+	case opCompute:
+		wall := s.cfg.stretch(r, st.ready, o.dur)
+		s.emit(r, trace.Event{Name: o.name, Kind: trace.KindCompute,
+			Enter: st.ready, Exit: st.ready + wall, Peer: trace.NoPeer, Root: trace.NoPeer})
+		st.ready += wall
+		st.pc++
+		return true, nil
+
+	case opMarkBegin, opMarkEnd:
+		kind := trace.KindMarkBegin
+		if o.kind == opMarkEnd {
+			kind = trace.KindMarkEnd
+		}
+		s.emit(r, trace.Event{Name: o.name, Kind: kind,
+			Enter: st.ready, Exit: st.ready, Peer: trace.NoPeer, Root: trace.NoPeer})
+		st.pc++
+		return true, nil
+
+	case opSend:
+		exit := st.ready + s.cfg.PtPOverhead
+		key := chanKey{src: r, dst: o.peer, tag: o.tag}
+		s.chans[key] = append(s.chans[key], message{
+			bytes: o.bytes, arrival: exit + s.cfg.transfer(o.bytes)})
+		s.emit(r, trace.Event{Name: o.name, Kind: trace.KindSend,
+			Enter: st.ready, Exit: exit, Peer: int32(o.peer), Tag: int32(o.tag),
+			Bytes: o.bytes, Root: trace.NoPeer})
+		st.ready = exit
+		st.pc++
+		return true, nil
+
+	case opSsend:
+		// Register the rendezvous offer and block; the matching receive
+		// completes it (see opRecv below).
+		key := chanKey{src: r, dst: o.peer, tag: o.tag}
+		s.chans[key] = append(s.chans[key], message{
+			sync: true, bytes: o.bytes, sendReady: st.ready, sendOp: st.pc})
+		st.inSync = true
+		return true, nil
+
+	case opRecv:
+		key := chanKey{src: o.peer, dst: r, tag: o.tag}
+		idx := st.recvCount[key]
+		queue := s.chans[key]
+		if idx >= len(queue) {
+			return false, nil // matching send not reached yet
+		}
+		m := queue[idx]
+		if m.bytes != o.bytes {
+			return false, fmt.Errorf("mpisim: rank %d recv(src=%d tag=%d) expects %d bytes, message has %d",
+				r, o.peer, o.tag, o.bytes, m.bytes)
+		}
+		st.recvCount[key] = idx + 1
+		if !m.sync {
+			exit := maxTime(st.ready+s.cfg.PtPOverhead, m.arrival)
+			s.emit(r, trace.Event{Name: o.name, Kind: trace.KindRecv,
+				Enter: st.ready, Exit: exit, Peer: int32(o.peer), Tag: int32(o.tag),
+				Bytes: o.bytes, Root: trace.NoPeer})
+			st.ready = exit
+			st.pc++
+			return true, nil
+		}
+		// Rendezvous: both sides proceed once both have arrived.
+		t0 := maxTime(st.ready, m.sendReady)
+		exit := t0 + s.cfg.PtPOverhead + s.cfg.transfer(o.bytes)
+		s.emit(r, trace.Event{Name: o.name, Kind: trace.KindRecv,
+			Enter: st.ready, Exit: exit, Peer: int32(o.peer), Tag: int32(o.tag),
+			Bytes: o.bytes, Root: trace.NoPeer})
+		st.ready = exit
+		st.pc++
+		sst := &s.states[o.peer]
+		sop := &s.prog.ranks[o.peer].ops[m.sendOp]
+		s.emit(o.peer, trace.Event{Name: sop.name, Kind: trace.KindSsend,
+			Enter: m.sendReady, Exit: exit, Peer: int32(r), Tag: int32(sop.tag),
+			Bytes: sop.bytes, Root: trace.NoPeer})
+		sst.ready = exit
+		sst.inSync = false
+		sst.pc++
+		return true, nil
+
+	case opColl:
+		return s.execColl(r, o)
+	}
+	return false, fmt.Errorf("mpisim: rank %d: unknown op kind %d", r, o.kind)
+}
+
+// execColl records rank r's arrival at its next collective occurrence
+// and, when r is the last arrival, retires the whole instance.
+func (s *sim) execColl(r int, o *op) (bool, error) {
+	st := &s.states[r]
+	k := s.collIx[r]
+	for len(s.colls) <= k {
+		n := s.prog.NumRanks()
+		s.colls = append(s.colls, &collInstance{
+			kind: o.coll, name: o.name, root: o.root, bytes: o.bytes,
+			ready: make([]Time, n), seen: make([]bool, n),
+		})
+	}
+	ci := s.colls[k]
+	if ci.kind != o.coll || ci.root != o.root || ci.bytes != o.bytes {
+		return false, fmt.Errorf(
+			"mpisim: collective mismatch at occurrence %d: rank %d calls %s(root=%d,bytes=%d), expected %s(root=%d,bytes=%d)",
+			k, r, o.name, o.root, o.bytes, ci.name, ci.root, ci.bytes)
+	}
+	ci.ready[r] = st.ready
+	ci.seen[r] = true
+	ci.arrived++
+	st.inColl = true
+	if ci.arrived < s.prog.NumRanks() {
+		return true, nil
+	}
+	s.retireColl(ci)
+	return true, nil
+}
+
+// retireColl computes exit times for a fully-arrived collective and
+// advances every rank past it. The wait semantics per kind are the ones
+// the KOJAK patterns measure:
+//
+//   - Barrier and the N-to-N collectives: everyone leaves together after
+//     the last arrival (Wait at Barrier / Wait at N×N);
+//   - Bcast: non-roots cannot leave before the root arrives
+//     (Late Broadcast); the root never waits;
+//   - Gather/Reduce: the root cannot leave before the last contributor
+//     (Early Gather/Reduce); contributors never wait.
+func (s *sim) retireColl(ci *collInstance) {
+	n := s.prog.NumRanks()
+	var last Time
+	for r := 0; r < n; r++ {
+		if ci.ready[r] > last {
+			last = ci.ready[r]
+		}
+	}
+	cost := s.cfg.CollOverhead + ci.bytes/max64(s.cfg.BytesPerUnit, 1)
+	for r := 0; r < n; r++ {
+		st := &s.states[r]
+		var exit Time
+		switch ci.kind {
+		case trace.KindBcast:
+			if r == ci.root {
+				exit = ci.ready[r] + cost
+			} else {
+				exit = maxTime(ci.ready[r], ci.ready[ci.root]) + cost
+			}
+		case trace.KindGather, trace.KindReduce:
+			if r == ci.root {
+				exit = last + cost
+			} else {
+				exit = ci.ready[r] + cost
+			}
+		default: // Barrier, Allgather, Alltoall, Allreduce
+			exit = last + cost
+		}
+		s.emit(r, trace.Event{Name: ci.name, Kind: ci.kind,
+			Enter: ci.ready[r], Exit: exit, Peer: trace.NoPeer,
+			Bytes: ci.bytes, Root: int32(ci.root)})
+		st.ready = exit
+		st.inColl = false
+		st.pc++
+		s.collIx[r]++
+	}
+}
+
+func (s *sim) emit(r int, e trace.Event) {
+	s.out.Ranks[r].Events = append(s.out.Ranks[r].Events, e)
+}
+
+// deadlockError reports which ranks are stuck and on what.
+func (s *sim) deadlockError() error {
+	msg := "mpisim: deadlock:"
+	for r := range s.states {
+		st := &s.states[r]
+		ops := s.prog.ranks[r].ops
+		if st.pc >= len(ops) {
+			continue
+		}
+		o := &ops[st.pc]
+		switch {
+		case st.inColl:
+			msg += fmt.Sprintf(" rank %d in %s;", r, o.name)
+		case st.inSync:
+			msg += fmt.Sprintf(" rank %d in MPI_Ssend(dst=%d);", r, o.peer)
+		case o.kind == opRecv:
+			msg += fmt.Sprintf(" rank %d in MPI_Recv(src=%d tag=%d);", r, o.peer, o.tag)
+		default:
+			msg += fmt.Sprintf(" rank %d at op %d (%s);", r, st.pc, o.name)
+		}
+	}
+	return fmt.Errorf("%s", msg)
+}
+
+func maxTime(a, b Time) Time {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,462 @@
+package mpisim
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// cfg0 is a cost model with zero overheads so timing assertions are
+// exact.
+func cfg0() Config { return Config{PtPOverhead: 0, CollOverhead: 0, Latency: 0, BytesPerUnit: 1 << 40} }
+
+// find returns rank r's i-th event with the given name.
+func find(t *testing.T, tr *trace.Trace, rank int, name string, i int) trace.Event {
+	t.Helper()
+	n := 0
+	for _, e := range tr.Ranks[rank].Events {
+		if e.Name == name {
+			if n == i {
+				return e
+			}
+			n++
+		}
+	}
+	t.Fatalf("rank %d has no event %q #%d", rank, name, i)
+	return trace.Event{}
+}
+
+func seg(r *RankProgram, body func()) {
+	r.BeginSegment("main.1")
+	body()
+	r.EndSegment("main.1")
+}
+
+func TestComputeTiming(t *testing.T) {
+	p := NewProgram("t", 1)
+	r := p.Rank(0)
+	seg(r, func() {
+		r.Compute("a", 100)
+		r.Compute("b", 50)
+	})
+	tr, err := Run(p, cfg0())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	a := find(t, tr, 0, "a", 0)
+	b := find(t, tr, 0, "b", 0)
+	if a.Enter != 0 || a.Exit != 100 || b.Enter != 100 || b.Exit != 150 {
+		t.Errorf("compute timing wrong: a=%v b=%v", a, b)
+	}
+}
+
+// TestLateSenderTiming: the receiver posts its receive at t=0; the sender
+// computes 500 first. With zero costs the receive must block exactly
+// until the send completes.
+func TestLateSenderTiming(t *testing.T) {
+	p := NewProgram("t", 2)
+	s := p.Rank(0)
+	seg(s, func() {
+		s.Compute("work", 500)
+		s.Send(1, 7, 8)
+	})
+	r := p.Rank(1)
+	seg(r, func() {
+		r.Recv(0, 7, 8)
+	})
+	tr, err := Run(p, cfg0())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	recv := find(t, tr, 1, "MPI_Recv", 0)
+	if recv.Enter != 0 {
+		t.Errorf("recv enter = %d, want 0", recv.Enter)
+	}
+	if recv.Exit != 500 {
+		t.Errorf("recv exit = %d, want 500 (blocked on late sender)", recv.Exit)
+	}
+	send := find(t, tr, 0, "MPI_Send", 0)
+	if send.Enter != 500 || send.Exit != 500 {
+		t.Errorf("send = %v, want enter=exit=500", send)
+	}
+}
+
+// TestEagerSendDoesNotBlock: an eager send completes regardless of when
+// the receiver posts.
+func TestEagerSendDoesNotBlock(t *testing.T) {
+	p := NewProgram("t", 2)
+	s := p.Rank(0)
+	seg(s, func() {
+		s.Send(1, 7, 8)
+		s.Compute("after", 10)
+	})
+	r := p.Rank(1)
+	seg(r, func() {
+		r.Compute("late", 1000)
+		r.Recv(0, 7, 8)
+	})
+	tr, err := Run(p, cfg0())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	send := find(t, tr, 0, "MPI_Send", 0)
+	if send.Exit != 0 {
+		t.Errorf("eager send exit = %d, want 0", send.Exit)
+	}
+	recv := find(t, tr, 1, "MPI_Recv", 0)
+	if recv.Enter != 1000 || recv.Exit != 1000 {
+		t.Errorf("recv = %v, want immediate completion at 1000", recv)
+	}
+}
+
+// TestLateReceiverTiming: a synchronous send blocks until the receiver
+// posts the matching receive (rendezvous).
+func TestLateReceiverTiming(t *testing.T) {
+	p := NewProgram("t", 2)
+	s := p.Rank(0)
+	seg(s, func() {
+		s.Ssend(1, 7, 8)
+	})
+	r := p.Rank(1)
+	seg(r, func() {
+		r.Compute("late", 700)
+		r.Recv(0, 7, 8)
+	})
+	tr, err := Run(p, cfg0())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	ssend := find(t, tr, 0, "MPI_Ssend", 0)
+	if ssend.Enter != 0 || ssend.Exit != 700 {
+		t.Errorf("ssend = %v, want 0..700 (blocked on late receiver)", ssend)
+	}
+	recv := find(t, tr, 1, "MPI_Recv", 0)
+	if recv.Enter != 700 || recv.Exit != 700 {
+		t.Errorf("recv = %v, want 700..700", recv)
+	}
+}
+
+// TestRendezvousReceiverFirst: the mirror case — receiver arrives first
+// and blocks until the sender shows up.
+func TestRendezvousReceiverFirst(t *testing.T) {
+	p := NewProgram("t", 2)
+	s := p.Rank(0)
+	seg(s, func() {
+		s.Compute("late", 300)
+		s.Ssend(1, 7, 8)
+	})
+	r := p.Rank(1)
+	seg(r, func() {
+		r.Recv(0, 7, 8)
+	})
+	tr, err := Run(p, cfg0())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	recv := find(t, tr, 1, "MPI_Recv", 0)
+	if recv.Enter != 0 || recv.Exit != 300 {
+		t.Errorf("recv = %v, want 0..300", recv)
+	}
+}
+
+func TestFIFOMessageOrder(t *testing.T) {
+	p := NewProgram("t", 2)
+	s := p.Rank(0)
+	seg(s, func() {
+		s.Send(1, 7, 1)
+		s.Compute("gap", 100)
+		s.Send(1, 7, 2)
+	})
+	r := p.Rank(1)
+	seg(r, func() {
+		r.Recv(0, 7, 1) // must match the first send (bytes checked)
+		r.Recv(0, 7, 2)
+	})
+	if _, err := Run(p, cfg0()); err != nil {
+		t.Fatalf("FIFO matching failed: %v", err)
+	}
+}
+
+func TestRecvBytesMismatch(t *testing.T) {
+	p := NewProgram("t", 2)
+	s := p.Rank(0)
+	seg(s, func() { s.Send(1, 7, 64) })
+	r := p.Rank(1)
+	seg(r, func() { r.Recv(0, 7, 32) })
+	if _, err := Run(p, cfg0()); err == nil || !strings.Contains(err.Error(), "bytes") {
+		t.Errorf("want bytes mismatch error, got %v", err)
+	}
+}
+
+func TestBarrierTiming(t *testing.T) {
+	p := NewProgram("t", 3)
+	work := []Time{100, 300, 200}
+	p.ForAll(func(rank int, r *RankProgram) {
+		seg(r, func() {
+			r.Compute("w", work[rank])
+			r.Barrier()
+		})
+	})
+	tr, err := Run(p, cfg0())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for rank := 0; rank < 3; rank++ {
+		b := find(t, tr, rank, "MPI_Barrier", 0)
+		if b.Enter != work[rank] {
+			t.Errorf("rank %d barrier enter = %d, want %d", rank, b.Enter, work[rank])
+		}
+		if b.Exit != 300 {
+			t.Errorf("rank %d barrier exit = %d, want 300 (last arrival)", rank, b.Exit)
+		}
+	}
+}
+
+// TestBcastTiming: non-roots wait for the root; the root never waits.
+func TestBcastTiming(t *testing.T) {
+	p := NewProgram("t", 3)
+	work := []Time{500, 100, 200} // root 0 is late
+	p.ForAll(func(rank int, r *RankProgram) {
+		seg(r, func() {
+			r.Compute("w", work[rank])
+			r.Bcast(0, 0)
+		})
+	})
+	tr, err := Run(p, cfg0())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	root := find(t, tr, 0, "MPI_Bcast", 0)
+	if root.Exit != 500 {
+		t.Errorf("root bcast exit = %d, want 500 (no waiting)", root.Exit)
+	}
+	for _, rank := range []int{1, 2} {
+		b := find(t, tr, rank, "MPI_Bcast", 0)
+		if b.Exit != 500 {
+			t.Errorf("rank %d bcast exit = %d, want 500 (waits for root)", rank, b.Exit)
+		}
+	}
+}
+
+// TestGatherTiming: the root waits for the last contributor; contributors
+// leave immediately.
+func TestGatherTiming(t *testing.T) {
+	p := NewProgram("t", 3)
+	work := []Time{100, 600, 300} // root 0 is early
+	p.ForAll(func(rank int, r *RankProgram) {
+		seg(r, func() {
+			r.Compute("w", work[rank])
+			r.Gather(0, 0)
+		})
+	})
+	tr, err := Run(p, cfg0())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	root := find(t, tr, 0, "MPI_Gather", 0)
+	if root.Enter != 100 || root.Exit != 600 {
+		t.Errorf("root gather = %v, want 100..600 (waits for last)", root)
+	}
+	c := find(t, tr, 1, "MPI_Gather", 0)
+	if c.Enter != 600 || c.Exit != 600 {
+		t.Errorf("contributor gather = %v, want 600..600 (no waiting)", c)
+	}
+	c2 := find(t, tr, 2, "MPI_Gather", 0)
+	if c2.Exit != 300 {
+		t.Errorf("contributor 2 gather exit = %d, want 300", c2.Exit)
+	}
+}
+
+// TestAlltoallTiming: everyone leaves together after the last arrival.
+func TestAlltoallTiming(t *testing.T) {
+	p := NewProgram("t", 2)
+	work := []Time{100, 400}
+	p.ForAll(func(rank int, r *RankProgram) {
+		seg(r, func() {
+			r.Compute("w", work[rank])
+			r.Alltoall(0)
+		})
+	})
+	tr, err := Run(p, cfg0())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for rank := 0; rank < 2; rank++ {
+		e := find(t, tr, rank, "MPI_Alltoall", 0)
+		if e.Exit != 400 {
+			t.Errorf("rank %d alltoall exit = %d, want 400", rank, e.Exit)
+		}
+	}
+}
+
+func TestCollectiveMismatch(t *testing.T) {
+	p := NewProgram("t", 2)
+	a := p.Rank(0)
+	seg(a, func() { a.Barrier() })
+	b := p.Rank(1)
+	seg(b, func() { b.Alltoall(0) })
+	if _, err := Run(p, cfg0()); err == nil || !strings.Contains(err.Error(), "mismatch") {
+		t.Errorf("want collective mismatch error, got %v", err)
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	p := NewProgram("t", 2)
+	a := p.Rank(0)
+	seg(a, func() { a.Recv(1, 7, 8) })
+	b := p.Rank(1)
+	seg(b, func() { b.Recv(0, 7, 8) })
+	_, err := Run(p, cfg0())
+	if err == nil || !strings.Contains(err.Error(), "deadlock") {
+		t.Fatalf("want deadlock error, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "MPI_Recv") {
+		t.Errorf("deadlock error should name the blocking op: %v", err)
+	}
+}
+
+func TestDeadlockBarrierMissingRank(t *testing.T) {
+	p := NewProgram("t", 2)
+	a := p.Rank(0)
+	seg(a, func() { a.Barrier() })
+	b := p.Rank(1)
+	seg(b, func() { b.Compute("w", 5) })
+	if _, err := Run(p, cfg0()); err == nil || !strings.Contains(err.Error(), "deadlock") {
+		t.Errorf("want deadlock when one rank skips the barrier, got %v", err)
+	}
+}
+
+func TestCostModel(t *testing.T) {
+	cfg := Config{PtPOverhead: 3, CollOverhead: 5, Latency: 10, BytesPerUnit: 100}
+	p := NewProgram("t", 2)
+	s := p.Rank(0)
+	seg(s, func() { s.Send(1, 7, 1000) })
+	r := p.Rank(1)
+	seg(r, func() { r.Recv(0, 7, 1000) })
+	tr, err := Run(p, cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	send := find(t, tr, 0, "MPI_Send", 0)
+	if send.Exit != 3 { // overhead only
+		t.Errorf("send exit = %d, want 3", send.Exit)
+	}
+	recv := find(t, tr, 1, "MPI_Recv", 0)
+	// Arrival = send exit (3) + latency (10) + 1000/100 bytes = 23.
+	if recv.Exit != 23 {
+		t.Errorf("recv exit = %d, want 23", recv.Exit)
+	}
+}
+
+// stubNoise doubles every compute phase.
+type stubNoise struct{}
+
+func (stubNoise) Stretch(rank int, start, dur Time) Time { return 2 * dur }
+
+func TestNoiseStretchesCompute(t *testing.T) {
+	cfg := cfg0()
+	cfg.Noise = stubNoise{}
+	p := NewProgram("t", 1)
+	r := p.Rank(0)
+	seg(r, func() { r.Compute("w", 100) })
+	tr, err := Run(p, cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	w := find(t, tr, 0, "w", 0)
+	if w.Duration() != 200 {
+		t.Errorf("noisy compute duration = %d, want 200", w.Duration())
+	}
+}
+
+// shrinkNoise tries to shrink work; the simulator must clamp to dur.
+type shrinkNoise struct{}
+
+func (shrinkNoise) Stretch(rank int, start, dur Time) Time { return dur / 2 }
+
+func TestNoiseCannotShrink(t *testing.T) {
+	cfg := cfg0()
+	cfg.Noise = shrinkNoise{}
+	p := NewProgram("t", 1)
+	r := p.Rank(0)
+	seg(r, func() { r.Compute("w", 100) })
+	tr, err := Run(p, cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if w := find(t, tr, 0, "w", 0); w.Duration() != 100 {
+		t.Errorf("noise shrank compute to %d", w.Duration())
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	build := func() *Program {
+		p := NewProgram("t", 4)
+		p.ForAll(func(rank int, r *RankProgram) {
+			seg(r, func() {
+				r.Compute("w", Time(100*(rank+1)))
+				if rank%2 == 0 {
+					r.Send((rank+1)%4, 7, 64)
+				} else {
+					r.Recv((rank+3)%4, 7, 64)
+				}
+				r.Barrier()
+			})
+		})
+		return p
+	}
+	t1, err := Run(build(), DefaultConfig())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	t2, err := Run(build(), DefaultConfig())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !reflect.DeepEqual(t1, t2) {
+		t.Error("identical programs produced different traces")
+	}
+}
+
+func TestGeneratedTraceValidates(t *testing.T) {
+	p := NewProgram("t", 2)
+	p.ForAll(func(rank int, r *RankProgram) {
+		r.InSegment("init", func() { r.Barrier() })
+		for i := 0; i < 5; i++ {
+			seg(r, func() {
+				r.Compute("w", 10)
+				if rank == 0 {
+					r.Send(1, 1, 8)
+				} else {
+					r.Recv(0, 1, 8)
+				}
+			})
+		}
+	})
+	tr, err := Run(p, DefaultConfig())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Errorf("generated trace invalid: %v", err)
+	}
+}
+
+func TestSendrecv(t *testing.T) {
+	p := NewProgram("t", 2)
+	p.ForAll(func(rank int, r *RankProgram) {
+		seg(r, func() {
+			r.Sendrecv(1-rank, 1-rank, 7, 16)
+		})
+	})
+	tr, err := Run(p, cfg0())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for rank := 0; rank < 2; rank++ {
+		find(t, tr, rank, "MPI_Send", 0)
+		find(t, tr, rank, "MPI_Recv", 0)
+	}
+}

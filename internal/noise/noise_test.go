@@ -1,0 +1,170 @@
+package noise
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNoDaemons(t *testing.T) {
+	m := NewModel()
+	if got := m.Stretch(0, 0, 1000); got != 1000 {
+		t.Errorf("empty model stretched %d", got)
+	}
+	if got := m.TotalRate(0); got != 0 {
+		t.Errorf("empty model rate %v", got)
+	}
+}
+
+func TestZeroDuration(t *testing.T) {
+	m := NewModel(Daemon{Name: "d", Period: 100, Duration: 10})
+	if got := m.Stretch(0, 0, 0); got != 0 {
+		t.Errorf("zero work stretched to %d", got)
+	}
+}
+
+// TestSingleFiring: one daemon firing at t=50 inside a phase [0,100)
+// extends the phase by its duration.
+func TestSingleFiring(t *testing.T) {
+	m := NewModel(Daemon{Name: "d", Period: 1000, Duration: 7, Phase: 50})
+	if got := m.Stretch(0, 0, 100); got != 107 {
+		t.Errorf("Stretch = %d, want 107", got)
+	}
+	// A phase that misses the firing is untouched.
+	if got := m.Stretch(0, 60, 100); got != 100 {
+		t.Errorf("Stretch(miss) = %d, want 100", got)
+	}
+}
+
+// TestPeriodicFirings: a phase spanning several periods absorbs one
+// firing per period.
+func TestPeriodicFirings(t *testing.T) {
+	m := NewModel(Daemon{Name: "d", Period: 100, Duration: 5, Phase: 10})
+	// Phase [0, 300): firings at 10, 110, 210 -> +15; the extension
+	// [300, 315) contains a firing at 310 -> +5 more.
+	if got := m.Stretch(0, 0, 300); got != 320 {
+		t.Errorf("Stretch = %d, want 320", got)
+	}
+}
+
+// TestCompounding: a firing landing in the extension counts too.
+func TestCompounding(t *testing.T) {
+	m := NewModel(Daemon{Name: "d", Period: 100, Duration: 30, Phase: 90})
+	// Work [0,100): firing at 90 -> wall 130; extension [100,130)
+	// contains no firing (next at 190).
+	if got := m.Stretch(0, 0, 100); got != 130 {
+		t.Errorf("Stretch = %d, want 130", got)
+	}
+	// Work [0,170): firings at 90 -> wall 200; extension [170,200)
+	// contains 190 -> wall 230; extension [200,230) has none.
+	if got := m.Stretch(0, 0, 170); got != 230 {
+		t.Errorf("Stretch(170) = %d, want 230", got)
+	}
+}
+
+func TestRankRestriction(t *testing.T) {
+	m := NewModel(Daemon{Name: "mgr", Period: 100, Duration: 10, Phase: 0, Ranks: []int{0}})
+	if got := m.Stretch(0, 0, 100); got == 100 {
+		t.Error("rank 0 should be disturbed")
+	}
+	if got := m.Stretch(3, 0, 100); got != 100 {
+		t.Errorf("rank 3 should be undisturbed, got %d", got)
+	}
+}
+
+func TestRankStagger(t *testing.T) {
+	m := NewModel(Daemon{Name: "d", Period: 1000, Duration: 5, Phase: 0, RankStagger: 100})
+	// Rank 0 fires at 0, rank 3 at 300.
+	if got := m.Stretch(0, 200, 50); got != 50 {
+		t.Errorf("rank 0 window [200,250) should be clean, got %d", got)
+	}
+	if got := m.Stretch(3, 290, 50); got != 55 {
+		t.Errorf("rank 3 window [290,340) should catch the 300 firing, got %d", got)
+	}
+}
+
+func TestNegativeStartWindow(t *testing.T) {
+	// Phases can start before a daemon's phase offset; the model must
+	// handle windows below the first firing cleanly.
+	m := NewModel(Daemon{Name: "d", Period: 100, Duration: 5, Phase: 70})
+	if got := m.Stretch(0, 0, 50); got != 50 {
+		t.Errorf("window before first firing stretched to %d", got)
+	}
+}
+
+func TestTotalRate(t *testing.T) {
+	m := NewModel(
+		Daemon{Name: "a", Period: 100, Duration: 1},
+		Daemon{Name: "b", Period: 100, Duration: 2, Ranks: []int{1}},
+	)
+	if got := m.TotalRate(0); got != 0.01 {
+		t.Errorf("rank 0 rate = %v, want 0.01", got)
+	}
+	if got := m.TotalRate(1); got != 0.03 {
+		t.Errorf("rank 1 rate = %v, want 0.03", got)
+	}
+}
+
+func TestDivergenceGuard(t *testing.T) {
+	m := NewModel(Daemon{Name: "hog", Period: 100, Duration: 99})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("steal rate 99% must panic")
+		}
+		if !strings.Contains(r.(string), "converge") {
+			t.Errorf("panic message %v", r)
+		}
+	}()
+	m.Stretch(0, 0, 1000)
+}
+
+func TestModelValidation(t *testing.T) {
+	for _, bad := range []Daemon{
+		{Name: "p0", Period: 0, Duration: 1},
+		{Name: "neg", Period: 10, Duration: -1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("daemon %+v must be rejected", bad)
+				}
+			}()
+			NewModel(bad)
+		}()
+	}
+}
+
+func TestASCIQProfiles(t *testing.T) {
+	m32 := ASCIQ(32, 1)
+	m1024 := ASCIQ(32, 32)
+	if len(m32.Daemons()) != 4 {
+		t.Fatalf("ASCIQ daemons = %d, want 4", len(m32.Daemons()))
+	}
+	// The 1024-process variant must steal substantially more, but stay
+	// convergent.
+	r32, r1024 := m32.TotalRate(5), m1024.TotalRate(5)
+	if r1024 <= 2*r32 {
+		t.Errorf("scaled noise rate %.3f not substantially above base %.3f", r1024, r32)
+	}
+	if r1024 >= 0.95 {
+		t.Errorf("scaled noise rate %.3f would diverge", r1024)
+	}
+	// Rank 0 carries the cluster manager.
+	if m32.TotalRate(0) <= m32.TotalRate(1) {
+		t.Error("rank 0 should be noisier than other ranks")
+	}
+	// Sanity: scale < 1 clamps.
+	if got := ASCIQ(32, 0).TotalRate(1); got != m32.TotalRate(1) {
+		t.Errorf("scale clamp: %v vs %v", got, m32.TotalRate(1))
+	}
+}
+
+// TestDeterminism: identical inputs give identical stretches.
+func TestStretchDeterminism(t *testing.T) {
+	m := ASCIQ(32, 32)
+	for i := 0; i < 5; i++ {
+		if m.Stretch(7, 12345, 1000) != m.Stretch(7, 12345, 1000) {
+			t.Fatal("Stretch is nondeterministic")
+		}
+	}
+}

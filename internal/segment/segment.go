@@ -1,0 +1,186 @@
+// Package segment splits per-rank event traces into segments at the
+// marker boundaries the instrumentation inserts around loops (paper §3.1),
+// normalizes event times relative to the segment start, and computes the
+// signatures that decide whether two segments are comparable at all.
+package segment
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strconv"
+
+	"repro/internal/trace"
+)
+
+// Segment is one contiguous marked region of a single rank's trace with
+// event timestamps normalized relative to the segment start.
+type Segment struct {
+	// Context is the hierarchical code location ("init", "main.1",
+	// "main.2.1", "final").
+	Context string
+	// Rank is the process the segment was collected from.
+	Rank int
+	// Start is the absolute start timestamp in the original trace.
+	Start trace.Time
+	// End is the segment duration (end marker time relative to Start).
+	End trace.Time
+	// Events holds the segment's events with Enter/Exit relative to Start.
+	Events []trace.Event
+	// Weight counts how many raw segments this one represents; iter_avg
+	// folds matches into a running average and increments Weight.
+	Weight int
+
+	sig Signature // cached; computed on first use
+}
+
+// Signature identifies the pattern class of a segment: context plus the
+// identity (name, kind, message parameters) of every event in order. Two
+// segments are a "possible match" in the paper's sense iff their
+// signatures are equal.
+type Signature uint64
+
+// Sig returns the segment's signature, computing and caching it on first
+// call.
+func (s *Segment) Sig() Signature {
+	if s.sig != 0 {
+		return s.sig
+	}
+	h := fnv.New64a()
+	var buf []byte
+	writeStr := func(x string) {
+		buf = strconv.AppendInt(buf[:0], int64(len(x)), 10)
+		h.Write(buf)
+		h.Write([]byte(x))
+	}
+	writeInt := func(x int64) {
+		buf = strconv.AppendInt(buf[:0], x, 10)
+		buf = append(buf, ';')
+		h.Write(buf)
+	}
+	writeStr(s.Context)
+	writeInt(int64(len(s.Events)))
+	for _, e := range s.Events {
+		writeStr(e.Name)
+		writeInt(int64(e.Kind))
+		writeInt(int64(e.Peer))
+		writeInt(int64(e.Tag))
+		writeInt(e.Bytes)
+		writeInt(int64(e.Root))
+	}
+	s.sig = Signature(h.Sum64())
+	if s.sig == 0 {
+		s.sig = 1 // reserve 0 for "not yet computed"
+	}
+	return s.sig
+}
+
+// ResetSig clears the cached signature; call it after mutating a
+// segment's identity fields (context, event shapes).
+func (s *Segment) ResetSig() { s.sig = 0 }
+
+// Comparable reports whether two segments have the same context and the
+// same events (names, kinds, message parameters) in the same order — the
+// precondition every similarity method shares (paper compareSegments).
+func (s *Segment) Comparable(o *Segment) bool {
+	if s.Context != o.Context || len(s.Events) != len(o.Events) {
+		return false
+	}
+	if s.Sig() != o.Sig() {
+		return false
+	}
+	for i := range s.Events {
+		if !s.Events[i].SameShape(o.Events[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Measurements appends the segment's measurement values in the canonical
+// order used by the pairwise and Minkowski methods — segment end first,
+// then each event's enter and exit stamp (paper Figure 2: s2 ↦
+// (49, 1, 17, 18, 48)) — and returns the extended slice.
+func (s *Segment) Measurements(dst []float64) []float64 {
+	dst = append(dst, float64(s.End))
+	for _, e := range s.Events {
+		dst = append(dst, float64(e.Enter), float64(e.Exit))
+	}
+	return dst
+}
+
+// StampVector appends the wavelet input vector: the relative start (always
+// 0), every event enter/exit stamp, and the segment end (paper §3.2.1),
+// returning the extended slice.
+func (s *Segment) StampVector(dst []float64) []float64 {
+	dst = append(dst, 0)
+	for _, e := range s.Events {
+		dst = append(dst, float64(e.Enter), float64(e.Exit))
+	}
+	return append(dst, float64(s.End))
+}
+
+// NumMeasurements returns len(Measurements): 2*len(Events)+1.
+func (s *Segment) NumMeasurements() int { return 2*len(s.Events) + 1 }
+
+// Clone returns a deep copy of the segment.
+func (s *Segment) Clone() *Segment {
+	c := *s
+	c.Events = append([]trace.Event(nil), s.Events...)
+	return &c
+}
+
+// Split cuts one rank's event stream into segments. Marker events delimit
+// segments; event times inside each segment are rebased relative to the
+// begin-marker time. The input trace must satisfy trace.Validate's marker
+// discipline (alternating, non-nested, matching contexts).
+func Split(rt *trace.RankTrace) ([]*Segment, error) {
+	var segs []*Segment
+	var cur *Segment
+	for i, e := range rt.Events {
+		switch e.Kind {
+		case trace.KindMarkBegin:
+			if cur != nil {
+				return nil, fmt.Errorf("segment: rank %d event %d: nested segment %q inside %q",
+					rt.Rank, i, e.Name, cur.Context)
+			}
+			cur = &Segment{Context: e.Name, Rank: rt.Rank, Start: e.Enter, Weight: 1}
+		case trace.KindMarkEnd:
+			if cur == nil {
+				return nil, fmt.Errorf("segment: rank %d event %d: end %q without begin", rt.Rank, i, e.Name)
+			}
+			if cur.Context != e.Name {
+				return nil, fmt.Errorf("segment: rank %d event %d: end %q does not match open %q",
+					rt.Rank, i, e.Name, cur.Context)
+			}
+			cur.End = e.Enter - cur.Start
+			segs = append(segs, cur)
+			cur = nil
+		default:
+			if cur == nil {
+				return nil, fmt.Errorf("segment: rank %d event %d (%s): event outside any segment",
+					rt.Rank, i, e.Name)
+			}
+			rel := e
+			rel.Enter -= cur.Start
+			rel.Exit -= cur.Start
+			cur.Events = append(cur.Events, rel)
+		}
+	}
+	if cur != nil {
+		return nil, fmt.Errorf("segment: rank %d: segment %q never closed", rt.Rank, cur.Context)
+	}
+	return segs, nil
+}
+
+// SplitTrace segments every rank of t. The result is indexed by rank.
+func SplitTrace(t *trace.Trace) ([][]*Segment, error) {
+	out := make([][]*Segment, len(t.Ranks))
+	for i := range t.Ranks {
+		segs, err := Split(&t.Ranks[i])
+		if err != nil {
+			return nil, fmt.Errorf("trace %q: %w", t.Name, err)
+		}
+		out[i] = segs
+	}
+	return out, nil
+}

@@ -1,0 +1,197 @@
+// Package sweep3d models the ASCI Sweep3D benchmark the paper uses as its
+// full application: a 1-group discrete-ordinates neutron-transport sweep
+// over a structured 3-D mesh, parallelized KBA-style on a 2-D process
+// grid. Each octant's wavefront pipelines blocking receives from the two
+// upstream neighbours, a per-block compute kernel, and sends to the two
+// downstream neighbours; iterations end with a global flux-error
+// reduction. The trace-level structure — many pipeline segments whose
+// message parameters differ by octant and grid position, plus mild
+// deterministic compute jitter — is what exercises the reduction methods
+// the way the real application did.
+package sweep3d
+
+import (
+	"fmt"
+
+	"repro/internal/mpisim"
+	"repro/internal/trace"
+)
+
+// Config sizes the modeled problem.
+type Config struct {
+	// NX, NY, NZ are the global mesh dimensions.
+	NX, NY, NZ int
+	// P, Q are the process-grid dimensions (P·Q ranks); the i-axis is
+	// decomposed over P, the j-axis over Q.
+	P, Q int
+	// MK is the k-plane block size of the pipeline.
+	MK int
+	// MMI is the angle block size.
+	MMI int
+	// Angles is the number of angles per octant.
+	Angles int
+	// Iters is the number of outer (timestep/convergence) iterations.
+	Iters int
+	// KernelNsPerCell is the compute cost per mesh cell·angle in
+	// nanoseconds (the kernel duration is cells·angles·this / 1000 µs).
+	KernelNsPerCell int64
+	// JitterPct is the ± percentage of deterministic pseudo-random
+	// variation applied to kernel durations.
+	JitterPct int
+	// Seed seeds the jitter generator.
+	Seed uint64
+}
+
+// Input50 returns the configuration modelling the paper's 8-process run
+// with input.50 (50³ mesh on a 2×4 grid).
+func Input50() Config {
+	return Config{NX: 50, NY: 50, NZ: 50, P: 2, Q: 4, MK: 10, MMI: 3,
+		Angles: 6, Iters: 4, KernelNsPerCell: 300, JitterPct: 4, Seed: 0x5eed}
+}
+
+// Input150 returns the configuration modelling the paper's 32-process run
+// with input.150 (150³ mesh on a 4×8 grid). The block counts are kept
+// moderate so the generated traces stay tractable while preserving the
+// deeper pipeline of the larger run.
+func Input150() Config {
+	return Config{NX: 150, NY: 150, NZ: 150, P: 4, Q: 8, MK: 15, MMI: 3,
+		Angles: 6, Iters: 3, KernelNsPerCell: 100, JitterPct: 4, Seed: 0x5eed}
+}
+
+// Ranks returns the process count P·Q.
+func (c Config) Ranks() int { return c.P * c.Q }
+
+func (c Config) validate() error {
+	switch {
+	case c.P < 1 || c.Q < 1:
+		return fmt.Errorf("sweep3d: process grid %dx%d invalid", c.P, c.Q)
+	case c.NX < c.P || c.NY < c.Q:
+		return fmt.Errorf("sweep3d: mesh %dx%dx%d too small for %dx%d grid", c.NX, c.NY, c.NZ, c.P, c.Q)
+	case c.MK < 1 || c.MMI < 1 || c.Angles < c.MMI:
+		return fmt.Errorf("sweep3d: bad blocking mk=%d mmi=%d angles=%d", c.MK, c.MMI, c.Angles)
+	case c.Iters < 1:
+		return fmt.Errorf("sweep3d: need at least one iteration")
+	}
+	return nil
+}
+
+// jitter is a small deterministic xorshift generator; the model must not
+// depend on global randomness so traces are reproducible.
+type jitter struct{ state uint64 }
+
+func newJitter(seed uint64, rank int) *jitter {
+	s := seed ^ (uint64(rank+1) * 0x9e3779b97f4a7c15)
+	if s == 0 {
+		s = 1
+	}
+	return &jitter{state: s}
+}
+
+func (j *jitter) next() uint64 {
+	j.state ^= j.state << 13
+	j.state ^= j.state >> 7
+	j.state ^= j.state << 17
+	return j.state
+}
+
+// stretch returns dur adjusted by a deterministic ±pct% wobble.
+func (j *jitter) stretch(dur mpisim.Time, pct int) mpisim.Time {
+	if pct <= 0 || dur <= 0 {
+		return dur
+	}
+	span := 2*pct + 1
+	off := int64(j.next()%uint64(span)) - int64(pct) // in [-pct, +pct]
+	return dur + dur*off/100
+}
+
+// octant describes one sweep direction in the i/j plane (the k direction
+// does not change the neighbour pattern).
+type octant struct{ di, dj int }
+
+// The eight octants: four i/j direction pairs, each swept for both k
+// directions.
+var octants = []octant{
+	{+1, +1}, {+1, -1}, {-1, +1}, {-1, -1},
+	{+1, +1}, {+1, -1}, {-1, +1}, {-1, -1},
+}
+
+// Build constructs the Sweep3D program for the given configuration.
+func Build(name string, c Config) (*mpisim.Program, error) {
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	ranks := c.Ranks()
+	prog := mpisim.NewProgram(name, ranks)
+	kBlocks := (c.NZ + c.MK - 1) / c.MK
+	aBlocks := (c.Angles + c.MMI - 1) / c.MMI
+	for rank := 0; rank < ranks; rank++ {
+		px, py := rank/c.Q, rank%c.Q
+		r := prog.Rank(rank)
+		j := newJitter(c.Seed, rank)
+		nxLocal := c.NX / c.P
+		nyLocal := c.NY / c.Q
+		// Boundary payloads: ghost faces of one pipeline block.
+		iFaceBytes := int64(nyLocal*c.MK*c.MMI) * 8
+		jFaceBytes := int64(nxLocal*c.MK*c.MMI) * 8
+		kernelCells := int64(nxLocal*nyLocal) * int64(c.MK) * int64(c.MMI)
+		kernelDur := mpisim.Time(kernelCells * c.KernelNsPerCell / 1000)
+		if kernelDur < 1 {
+			kernelDur = 1
+		}
+
+		r.InSegment("init", func() {
+			r.Compute("decomp", 300)
+			r.Bcast(0, 1024) // input broadcast
+			r.Barrier()
+		})
+		for it := 0; it < c.Iters; it++ {
+			r.InSegment("iter", func() {
+				r.Compute("source", j.stretch(kernelDur/2, c.JitterPct))
+			})
+			for o, oct := range octants {
+				tag := 10 + o
+				// Upstream/downstream neighbours for this sweep direction.
+				upI, downI := px-oct.di, px+oct.di
+				upJ, downJ := py-oct.dj, py+oct.dj
+				for kb := 0; kb < kBlocks; kb++ {
+					for ab := 0; ab < aBlocks; ab++ {
+						r.InSegment("sweep.1", func() {
+							if upI >= 0 && upI < c.P {
+								r.Recv(upI*c.Q+py, tag, iFaceBytes)
+							}
+							if upJ >= 0 && upJ < c.Q {
+								r.Recv(px*c.Q+upJ, tag+100, jFaceBytes)
+							}
+							r.Compute("sweep_kernel", j.stretch(kernelDur, c.JitterPct))
+							if downI >= 0 && downI < c.P {
+								r.Send(downI*c.Q+py, tag, iFaceBytes)
+							}
+							if downJ >= 0 && downJ < c.Q {
+								r.Send(px*c.Q+downJ, tag+100, jFaceBytes)
+							}
+						})
+					}
+				}
+			}
+			r.InSegment("flux", func() {
+				r.Compute("flux_err", j.stretch(kernelDur/4, c.JitterPct))
+				r.Allreduce(64)
+			})
+		}
+		r.InSegment("final", func() {
+			r.Barrier()
+			r.Compute("report", 200)
+		})
+	}
+	return prog, nil
+}
+
+// Run builds and simulates the configuration under the default cost
+// model, returning the generated trace.
+func Run(name string, c Config) (*trace.Trace, error) {
+	prog, err := Build(name, c)
+	if err != nil {
+		return nil, err
+	}
+	return mpisim.Run(prog, mpisim.DefaultConfig())
+}

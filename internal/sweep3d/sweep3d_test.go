@@ -1,0 +1,179 @@
+package sweep3d
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/expert"
+	"repro/internal/segment"
+)
+
+// tiny returns a fast configuration for unit tests.
+func tiny() Config {
+	return Config{NX: 8, NY: 8, NZ: 8, P: 2, Q: 2, MK: 4, MMI: 2, Angles: 4,
+		Iters: 2, KernelNsPerCell: 1000, JitterPct: 4, Seed: 42}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cases := []struct {
+		mutate func(*Config)
+		msg    string
+	}{
+		{func(c *Config) { c.P = 0 }, "grid"},
+		{func(c *Config) { c.NX = 1 }, "too small"},
+		{func(c *Config) { c.MK = 0 }, "blocking"},
+		{func(c *Config) { c.Angles = 1 }, "blocking"},
+		{func(c *Config) { c.Iters = 0 }, "iteration"},
+	}
+	for _, tc := range cases {
+		c := tiny()
+		tc.mutate(&c)
+		_, err := Build("x", c)
+		if err == nil {
+			t.Errorf("config %+v should fail", c)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.msg) {
+			t.Errorf("error %q does not mention %q", err, tc.msg)
+		}
+	}
+}
+
+func TestBuildAndRun(t *testing.T) {
+	tr, err := Run("tiny", tiny())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("invalid trace: %v", err)
+	}
+	if tr.NumRanks() != 4 {
+		t.Errorf("ranks = %d, want 4", tr.NumRanks())
+	}
+	if tr.NumEvents() == 0 {
+		t.Fatal("no events generated")
+	}
+}
+
+// TestWavefrontOrdering: in the (+1,+1) octant the corner rank (0,0)
+// computes first; the far corner receives from both neighbours and can
+// only start after them.
+func TestWavefrontOrdering(t *testing.T) {
+	c := tiny()
+	tr, err := Run("tiny", c)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// First sweep_kernel occurrence per rank.
+	firstKernel := make(map[int]int64)
+	for r := range tr.Ranks {
+		for _, e := range tr.Ranks[r].Events {
+			if e.Name == "sweep_kernel" {
+				firstKernel[r] = e.Enter
+				break
+			}
+		}
+	}
+	// Rank layout: rank = px*Q + py; for octant (+1,+1) rank 0 is the
+	// source corner, rank 3 (px=1,py=1) downstream of both.
+	if !(firstKernel[0] < firstKernel[3]) {
+		t.Errorf("wavefront violated: corner %d, far %d", firstKernel[0], firstKernel[3])
+	}
+}
+
+// TestPipelineWaits: downstream ranks must accumulate Late Sender waits
+// in their pipeline receives — the signature sweep3d behaviour the paper
+// relies on.
+func TestPipelineWaits(t *testing.T) {
+	tr, err := Run("tiny", tiny())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	d, err := expert.Analyze(tr)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	total := d.Total(expert.Key{Metric: expert.MetricLateSender, Location: "MPI_Recv"})
+	if total <= 0 {
+		t.Errorf("no pipeline waiting diagnosed (total %v)", total)
+	}
+}
+
+// TestSegmentStructure: sweep segments must share the "sweep.1" context
+// but differ in signature across octants (different neighbours/tags), the
+// property that makes sweep3d hard to reduce (paper §5.2.1).
+func TestSegmentStructure(t *testing.T) {
+	tr, err := Run("tiny", tiny())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	perRank, err := segment.SplitTrace(tr)
+	if err != nil {
+		t.Fatalf("SplitTrace: %v", err)
+	}
+	sigs := map[segment.Signature]bool{}
+	nSweep := 0
+	for _, s := range perRank[0] {
+		if s.Context == "sweep.1" {
+			nSweep++
+			sigs[s.Sig()] = true
+		}
+	}
+	if nSweep == 0 {
+		t.Fatal("no sweep segments found")
+	}
+	// 8 octants with 4 distinct neighbour configurations; at least 4
+	// distinct signatures per rank.
+	if len(sigs) < 4 {
+		t.Errorf("only %d distinct sweep signatures; expected >= 4", len(sigs))
+	}
+	// But repetition must dominate: far fewer signatures than segments.
+	if len(sigs)*2 > nSweep {
+		t.Errorf("too little repetition: %d signatures over %d segments", len(sigs), nSweep)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, err := Run("d", tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run("d", tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.EndTime() != b.EndTime() || a.NumEvents() != b.NumEvents() {
+		t.Error("sweep3d generation nondeterministic")
+	}
+}
+
+func TestJitterChangesWithSeed(t *testing.T) {
+	c1, c2 := tiny(), tiny()
+	c2.Seed = 777
+	a, err := Run("s", c1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run("s", c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.EndTime() == b.EndTime() {
+		t.Error("different seeds produced identical end times (suspicious)")
+	}
+}
+
+func TestPaperConfigs(t *testing.T) {
+	if got := Input50().Ranks(); got != 8 {
+		t.Errorf("Input50 ranks = %d, want 8", got)
+	}
+	if got := Input150().Ranks(); got != 32 {
+		t.Errorf("Input150 ranks = %d, want 32", got)
+	}
+	if _, err := Build("sweep3d_8p", Input50()); err != nil {
+		t.Errorf("Input50 invalid: %v", err)
+	}
+	if _, err := Build("sweep3d_32p", Input150()); err != nil {
+		t.Errorf("Input150 invalid: %v", err)
+	}
+}

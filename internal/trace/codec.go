@@ -1,0 +1,240 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Binary trace file format.
+//
+// All integers are little-endian. Layout:
+//
+//	magic   "TRC1" (4 bytes)
+//	name    length-prefixed workload name
+//	names   u32 count, then length-prefixed strings (the name table)
+//	nranks  u32
+//	per rank: u32 rank, u32 event count, then fixed-width records
+//
+// Each event record is 41 bytes: nameID u32, kind u8, enter i64, exit i64,
+// peer i32, tag i32, bytes i64, root i32. File-size percentages in the
+// evaluation are ratios of these encoded byte counts, so the format is the
+// unit of measure as much as it is an interchange format.
+
+const traceMagic = "TRC1"
+
+// EventRecordSize is the fixed encoded size of one event record in bytes.
+const EventRecordSize = 4 + 1 + 8 + 8 + 4 + 4 + 8 + 4
+
+// CountingWriter discards writes while tallying the byte count; the size
+// metrics encode into one instead of allocating buffers.
+type CountingWriter struct{ N int64 }
+
+// Write implements io.Writer.
+func (c *CountingWriter) Write(p []byte) (int, error) { c.N += int64(len(p)); return len(p), nil }
+
+// EncodedSize returns the number of bytes Encode would write for t.
+func EncodedSize(t *Trace) int64 {
+	var c CountingWriter
+	// Encode into a counting writer; errors are impossible on CountingWriter.
+	if err := Encode(&c, t); err != nil {
+		panic("trace: EncodedSize: " + err.Error())
+	}
+	return c.N
+}
+
+// NameTable assigns dense IDs to event name strings during encoding.
+type NameTable struct {
+	ids   map[string]uint32
+	names []string
+}
+
+// NewNameTable returns an empty name table.
+func NewNameTable() *NameTable { return &NameTable{ids: map[string]uint32{}} }
+
+// ID returns the table ID for name, adding it if absent.
+func (nt *NameTable) ID(name string) uint32 {
+	if id, ok := nt.ids[name]; ok {
+		return id
+	}
+	id := uint32(len(nt.names))
+	nt.ids[name] = id
+	nt.names = append(nt.names, name)
+	return id
+}
+
+// Names returns the table's strings in ID order. The caller must not
+// modify the returned slice.
+func (nt *NameTable) Names() []string { return nt.names }
+
+// WriteString writes a u32-length-prefixed string.
+func WriteString(w io.Writer, s string) error {
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(s))); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, s)
+	return err
+}
+
+// ReadString reads a u32-length-prefixed string written by WriteString.
+func ReadString(r io.Reader) (string, error) {
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return "", err
+	}
+	if n > 1<<20 {
+		return "", fmt.Errorf("trace: string length %d too large", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+// Encode writes t to w in the binary trace format.
+func Encode(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := io.WriteString(bw, traceMagic); err != nil {
+		return err
+	}
+	if err := WriteString(bw, t.Name); err != nil {
+		return err
+	}
+	nt := NewNameTable()
+	for i := range t.Ranks {
+		for _, e := range t.Ranks[i].Events {
+			nt.ID(e.Name)
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(nt.names))); err != nil {
+		return err
+	}
+	for _, name := range nt.names {
+		if err := WriteString(bw, name); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(t.Ranks))); err != nil {
+		return err
+	}
+	var rec [EventRecordSize]byte
+	for i := range t.Ranks {
+		rt := &t.Ranks[i]
+		if err := binary.Write(bw, binary.LittleEndian, uint32(rt.Rank)); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, uint32(len(rt.Events))); err != nil {
+			return err
+		}
+		for _, e := range rt.Events {
+			PutEventRecord(rec[:], nt.ID(e.Name), e)
+			if _, err := bw.Write(rec[:]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// PutEventRecord encodes e into rec, which must be at least
+// EventRecordSize bytes; nameID is the event name's table ID.
+func PutEventRecord(rec []byte, nameID uint32, e Event) {
+	le := binary.LittleEndian
+	le.PutUint32(rec[0:], nameID)
+	rec[4] = byte(e.Kind)
+	le.PutUint64(rec[5:], uint64(e.Enter))
+	le.PutUint64(rec[13:], uint64(e.Exit))
+	le.PutUint32(rec[21:], uint32(e.Peer))
+	le.PutUint32(rec[25:], uint32(e.Tag))
+	le.PutUint64(rec[29:], uint64(e.Bytes))
+	le.PutUint32(rec[37:], uint32(e.Root))
+}
+
+// GetEventRecord decodes one fixed-width event record, resolving the name
+// ID against names.
+func GetEventRecord(rec []byte, names []string) (Event, error) {
+	le := binary.LittleEndian
+	nameID := le.Uint32(rec[0:])
+	if int(nameID) >= len(names) {
+		return Event{}, fmt.Errorf("trace: name id %d out of range (%d names)", nameID, len(names))
+	}
+	kind := EventKind(rec[4])
+	if kind >= numKinds {
+		return Event{}, fmt.Errorf("trace: unknown event kind %d", rec[4])
+	}
+	return Event{
+		Name:  names[nameID],
+		Kind:  kind,
+		Enter: int64(le.Uint64(rec[5:])),
+		Exit:  int64(le.Uint64(rec[13:])),
+		Peer:  int32(le.Uint32(rec[21:])),
+		Tag:   int32(le.Uint32(rec[25:])),
+		Bytes: int64(le.Uint64(rec[29:])),
+		Root:  int32(le.Uint32(rec[37:])),
+	}, nil
+}
+
+// Decode reads a trace in the binary format from r.
+func Decode(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(traceMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if string(magic) != traceMagic {
+		return nil, fmt.Errorf("trace: bad magic %q", magic)
+	}
+	name, err := ReadString(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading name: %w", err)
+	}
+	var nNames uint32
+	if err := binary.Read(br, binary.LittleEndian, &nNames); err != nil {
+		return nil, err
+	}
+	if nNames > 1<<24 {
+		return nil, fmt.Errorf("trace: name table size %d too large", nNames)
+	}
+	names := make([]string, nNames)
+	for i := range names {
+		if names[i], err = ReadString(br); err != nil {
+			return nil, fmt.Errorf("trace: reading name table: %w", err)
+		}
+	}
+	var nRanks uint32
+	if err := binary.Read(br, binary.LittleEndian, &nRanks); err != nil {
+		return nil, err
+	}
+	if nRanks > 1<<20 {
+		return nil, fmt.Errorf("trace: rank count %d too large", nRanks)
+	}
+	t := &Trace{Name: name, Ranks: make([]RankTrace, nRanks)}
+	rec := make([]byte, EventRecordSize)
+	for i := range t.Ranks {
+		var rank, nEvents uint32
+		if err := binary.Read(br, binary.LittleEndian, &rank); err != nil {
+			return nil, err
+		}
+		if err := binary.Read(br, binary.LittleEndian, &nEvents); err != nil {
+			return nil, err
+		}
+		rt := &t.Ranks[i]
+		rt.Rank = int(rank)
+		if nEvents > 0 {
+			rt.Events = make([]Event, 0, nEvents)
+		}
+		for j := uint32(0); j < nEvents; j++ {
+			if _, err := io.ReadFull(br, rec); err != nil {
+				return nil, fmt.Errorf("trace: rank %d event %d: %w", rank, j, err)
+			}
+			e, err := GetEventRecord(rec, names)
+			if err != nil {
+				return nil, err
+			}
+			rt.Events = append(rt.Events, e)
+		}
+	}
+	return t, nil
+}

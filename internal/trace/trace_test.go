@@ -1,0 +1,206 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func ev(name string, kind EventKind, enter, exit Time) Event {
+	return Event{Name: name, Kind: kind, Enter: enter, Exit: exit, Peer: NoPeer, Root: NoPeer}
+}
+
+func validTrace() *Trace {
+	t := New("test", 2)
+	t.Ranks[0].Events = []Event{
+		ev("init", KindMarkBegin, 0, 0),
+		ev("setup", KindCompute, 0, 10),
+		ev("init", KindMarkEnd, 10, 10),
+		ev("main.1", KindMarkBegin, 10, 10),
+		{Name: "MPI_Send", Kind: KindSend, Enter: 10, Exit: 12, Peer: 1, Tag: 3, Bytes: 64, Root: NoPeer},
+		ev("main.1", KindMarkEnd, 12, 12),
+	}
+	t.Ranks[1].Events = []Event{
+		ev("init", KindMarkBegin, 0, 0),
+		ev("setup", KindCompute, 0, 8),
+		ev("init", KindMarkEnd, 8, 8),
+		ev("main.1", KindMarkBegin, 8, 8),
+		{Name: "MPI_Recv", Kind: KindRecv, Enter: 8, Exit: 25, Peer: 0, Tag: 3, Bytes: 64, Root: NoPeer},
+		ev("main.1", KindMarkEnd, 25, 25),
+	}
+	return t
+}
+
+func TestEventDuration(t *testing.T) {
+	e := ev("f", KindCompute, 10, 35)
+	if got := e.Duration(); got != 25 {
+		t.Errorf("Duration = %d, want 25", got)
+	}
+}
+
+func TestEventSameShape(t *testing.T) {
+	base := Event{Name: "MPI_Send", Kind: KindSend, Enter: 1, Exit: 2, Peer: 3, Tag: 4, Bytes: 5, Root: NoPeer}
+	same := base
+	same.Enter, same.Exit = 100, 200 // timestamps don't affect shape
+	if !base.SameShape(same) {
+		t.Error("identical identity fields should be SameShape")
+	}
+	cases := []struct {
+		mutate func(*Event)
+		field  string
+	}{
+		{func(e *Event) { e.Name = "MPI_Ssend" }, "Name"},
+		{func(e *Event) { e.Kind = KindSsend }, "Kind"},
+		{func(e *Event) { e.Peer = 9 }, "Peer"},
+		{func(e *Event) { e.Tag = 9 }, "Tag"},
+		{func(e *Event) { e.Bytes = 9 }, "Bytes"},
+		{func(e *Event) { e.Root = 9 }, "Root"},
+	}
+	for _, c := range cases {
+		m := base
+		c.mutate(&m)
+		if base.SameShape(m) {
+			t.Errorf("SameShape should be false when %s differs", c.field)
+		}
+	}
+}
+
+func TestKindPredicates(t *testing.T) {
+	if !KindMarkBegin.IsMarker() || !KindMarkEnd.IsMarker() {
+		t.Error("marker kinds must report IsMarker")
+	}
+	if KindCompute.IsMarker() || KindRecv.IsMarker() {
+		t.Error("non-marker kinds must not report IsMarker")
+	}
+	for _, k := range []EventKind{KindBcast, KindGather, KindReduce, KindBarrier, KindAllgather, KindAlltoall, KindAllreduce} {
+		if !k.IsCollective() {
+			t.Errorf("%v must be collective", k)
+		}
+		if k.IsPointToPoint() {
+			t.Errorf("%v must not be point-to-point", k)
+		}
+	}
+	for _, k := range []EventKind{KindSend, KindSsend, KindRecv} {
+		if !k.IsPointToPoint() {
+			t.Errorf("%v must be point-to-point", k)
+		}
+		if k.IsCollective() {
+			t.Errorf("%v must not be collective", k)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindCompute.String() != "compute" || KindAlltoall.String() != "alltoall" {
+		t.Errorf("unexpected kind names: %s %s", KindCompute, KindAlltoall)
+	}
+	if got := EventKind(200).String(); !strings.Contains(got, "200") {
+		t.Errorf("unknown kind should include numeric value, got %q", got)
+	}
+}
+
+func TestNewTrace(t *testing.T) {
+	tr := New("x", 4)
+	if tr.NumRanks() != 4 {
+		t.Fatalf("NumRanks = %d, want 4", tr.NumRanks())
+	}
+	for i, rt := range tr.Ranks {
+		if rt.Rank != i {
+			t.Errorf("rank %d has Rank field %d", i, rt.Rank)
+		}
+	}
+	if tr.NumEvents() != 0 || tr.EndTime() != 0 {
+		t.Error("empty trace should have zero events and end time")
+	}
+}
+
+func TestNumEventsAndEndTime(t *testing.T) {
+	tr := validTrace()
+	if got := tr.NumEvents(); got != 12 {
+		t.Errorf("NumEvents = %d, want 12", got)
+	}
+	if got := tr.EndTime(); got != 25 {
+		t.Errorf("EndTime = %d, want 25", got)
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := validTrace().Validate(); err != nil {
+		t.Fatalf("valid trace rejected: %v", err)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Trace)
+		want   string
+	}{
+		{"exit before enter", func(tr *Trace) {
+			tr.Ranks[0].Events[1].Exit = -5
+		}, "exit"},
+		{"unsorted", func(tr *Trace) {
+			tr.Ranks[0].Events[4].Enter = 1
+		}, "before previous"},
+		{"nested segment", func(tr *Trace) {
+			tr.Ranks[0].Events[2] = ev("inner", KindMarkBegin, 10, 10)
+		}, "nested"},
+		{"end without begin", func(tr *Trace) {
+			tr.Ranks[0].Events[0] = ev("x", KindMarkEnd, 0, 0)
+		}, "without begin"},
+		{"mismatched context", func(tr *Trace) {
+			tr.Ranks[0].Events[2].Name = "other"
+		}, "does not match"},
+		{"event outside segment", func(tr *Trace) {
+			tr.Ranks[0].Events = tr.Ranks[0].Events[1:]
+		}, "outside"},
+		{"never closed", func(tr *Trace) {
+			tr.Ranks[0].Events = tr.Ranks[0].Events[:5]
+		}, "never closed"},
+	}
+	for _, c := range cases {
+		tr := validTrace()
+		c.mutate(tr)
+		err := tr.Validate()
+		if err == nil {
+			t.Errorf("%s: expected error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestFunctionNames(t *testing.T) {
+	tr := validTrace()
+	got := tr.FunctionNames()
+	want := []string{"MPI_Recv", "MPI_Send", "setup"}
+	if len(got) != len(want) {
+		t.Fatalf("FunctionNames = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("FunctionNames = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestTimestamps(t *testing.T) {
+	tr := validTrace()
+	got := tr.Timestamps(0, nil)
+	want := []Time{0, 10, 10, 12} // setup enter/exit, send enter/exit; markers excluded
+	if len(got) != len(want) {
+		t.Fatalf("Timestamps = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Timestamps = %v, want %v", got, want)
+		}
+	}
+	// Appending to an existing slice must extend it.
+	pre := []Time{99}
+	got = tr.Timestamps(0, pre)
+	if len(got) != 5 || got[0] != 99 {
+		t.Fatalf("Timestamps with prefix = %v", got)
+	}
+}

@@ -1,0 +1,102 @@
+// Package wavelet implements the two discrete wavelet transforms the paper
+// uses as segment-similarity bases: the plain average transform (pairwise
+// averages and differences, iterated on the trend half) and the Haar
+// transform (the same recursion with averages and differences scaled by
+// √2, which preserves the Euclidean norm).
+package wavelet
+
+import "math"
+
+// NextPow2 returns the smallest power of two >= n (and >= 1).
+func NextPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// Pad returns v zero-padded to the next power-of-two length. The result is
+// always a fresh slice.
+func Pad(v []float64) []float64 {
+	n := NextPow2(len(v))
+	out := make([]float64, n)
+	copy(out, v)
+	return out
+}
+
+// step performs one level of the transform on v[:n], writing trends to the
+// first n/2 slots and fluctuations to the second n/2, with the given
+// scale factor applied to both (1 for the average transform, √2⁻¹… no:
+// Haar uses (a+b)/√2 and (a−b)/√2, i.e. scale = 1/√2 relative to sum,
+// which equals the pairwise average multiplied by √2).
+func step(v []float64, n int, scale float64) {
+	half := n / 2
+	tmp := make([]float64, n)
+	for i := 0; i < half; i++ {
+		a, b := v[2*i], v[2*i+1]
+		tmp[i] = (a + b) / 2 * scale
+		tmp[half+i] = (a - b) / 2 * scale
+	}
+	copy(v[:n], tmp)
+}
+
+// transform runs the full multi-level decomposition in place. v must have
+// power-of-two length. At each level the trend half is decomposed again,
+// as in the paper's Figure 3.
+func transform(v []float64, scale float64) {
+	for n := len(v); n >= 2; n /= 2 {
+		step(v, n, scale)
+	}
+}
+
+// Average returns the multi-level average wavelet transform of v. The
+// input is zero-padded to a power of two; v itself is not modified.
+func Average(v []float64) []float64 {
+	out := Pad(v)
+	transform(out, 1)
+	return out
+}
+
+// Haar returns the multi-level Haar wavelet transform of v: the average
+// transform with every level's averages and differences multiplied by √2.
+// The input is zero-padded to a power of two; v itself is not modified.
+func Haar(v []float64) []float64 {
+	out := Pad(v)
+	transform(out, math.Sqrt2)
+	return out
+}
+
+// Euclidean returns the Euclidean (L2) distance between equal-length
+// vectors a and b. It panics if the lengths differ.
+func Euclidean(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("wavelet: Euclidean on vectors of different length")
+	}
+	var sum float64
+	for i := range a {
+		d := a[i] - b[i]
+		sum += d * d
+	}
+	return math.Sqrt(sum)
+}
+
+// MaxAbs returns the maximum absolute value over the concatenation of a
+// and b, which the paper uses to scale the wavelet match threshold.
+func MaxAbs(a, b []float64) float64 {
+	var m float64
+	for _, x := range a {
+		if ax := math.Abs(x); ax > m {
+			m = ax
+		}
+	}
+	for _, x := range b {
+		if ax := math.Abs(x); ax > m {
+			m = ax
+		}
+	}
+	return m
+}

@@ -1,0 +1,141 @@
+package wavelet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestNextPow2(t *testing.T) {
+	cases := map[int]int{0: 1, 1: 1, 2: 2, 3: 4, 4: 4, 5: 8, 8: 8, 9: 16, 1023: 1024, 1024: 1024}
+	for in, want := range cases {
+		if got := NextPow2(in); got != want {
+			t.Errorf("NextPow2(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestPad(t *testing.T) {
+	v := []float64{1, 2, 3}
+	p := Pad(v)
+	if len(p) != 4 || p[0] != 1 || p[1] != 2 || p[2] != 3 || p[3] != 0 {
+		t.Errorf("Pad = %v", p)
+	}
+	// Pad must not alias the input.
+	p[0] = 99
+	if v[0] != 1 {
+		t.Error("Pad aliases its input")
+	}
+}
+
+// TestAverageSingleLevel checks one decomposition step by hand: for
+// (a, b) the trend is (a+b)/2 and the fluctuation (a−b)/2, iterated on
+// the trend half (the paper's Figure 3 construction).
+func TestAverageSingleLevel(t *testing.T) {
+	got := Average([]float64{6, 12, 15, 1})
+	// level 1: trends (9, 8), fluctuations (-3, 7)
+	// level 2: trend 8.5, fluctuation 0.5
+	want := []float64{8.5, 0.5, -3, 7}
+	for i := range want {
+		if !almostEq(got[i], want[i], 1e-12) {
+			t.Fatalf("Average = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestHaarScaling(t *testing.T) {
+	in := []float64{6, 12, 15, 1}
+	avg := Average(in)
+	haar := Haar(in)
+	// Each Haar level multiplies the average transform's outputs by √2;
+	// coefficients produced at level k differ by (√2)^k.
+	if !almostEq(haar[2], avg[2]*math.Sqrt2, 1e-12) || !almostEq(haar[3], avg[3]*math.Sqrt2, 1e-12) {
+		t.Errorf("level-1 fluctuations: haar %v vs avg %v", haar, avg)
+	}
+	if !almostEq(haar[0], avg[0]*2, 1e-12) || !almostEq(haar[1], avg[1]*2, 1e-12) {
+		t.Errorf("level-2 outputs: haar %v vs avg %v", haar, avg)
+	}
+}
+
+func TestTransformsPadInput(t *testing.T) {
+	if got := Average([]float64{1, 2, 3}); len(got) != 4 {
+		t.Errorf("Average should pad to 4, got len %d", len(got))
+	}
+	if got := Haar([]float64{1, 2, 3, 4, 5}); len(got) != 8 {
+		t.Errorf("Haar should pad to 8, got len %d", len(got))
+	}
+}
+
+func TestTransformsDoNotModifyInput(t *testing.T) {
+	in := []float64{4, 8, 12, 16}
+	Average(in)
+	Haar(in)
+	if in[0] != 4 || in[3] != 16 {
+		t.Errorf("transform modified input: %v", in)
+	}
+}
+
+// TestHaarPreservesEuclidean verifies the property the paper cites as the
+// Haar transform's advantage: it preserves the Euclidean distance between
+// vectors (it is orthonormal), while the average transform does not.
+func TestHaarPreservesEuclidean(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 << (1 + rng.Intn(5)) // 2..32, power of two
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i] = rng.NormFloat64() * 100
+			b[i] = rng.NormFloat64() * 100
+		}
+		orig := Euclidean(a, b)
+		trans := Euclidean(Haar(a), Haar(b))
+		return almostEq(orig, trans, 1e-6*(1+orig))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAverageHalvesValues checks the paper's observation that the average
+// transform's values are smaller than the Haar transform's.
+func TestAverageSmallerThanHaar(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		v := make([]float64, 8)
+		for i := range v {
+			v[i] = rng.Float64() * 1000
+		}
+		return MaxAbs(Average(v), nil) <= MaxAbs(Haar(v), nil)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEuclidean(t *testing.T) {
+	if got := Euclidean([]float64{0, 3}, []float64{4, 0}); !almostEq(got, 5, 1e-12) {
+		t.Errorf("Euclidean = %v, want 5", got)
+	}
+	if got := Euclidean(nil, nil); got != 0 {
+		t.Errorf("Euclidean(nil,nil) = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Euclidean on mismatched lengths should panic")
+		}
+	}()
+	Euclidean([]float64{1}, []float64{1, 2})
+}
+
+func TestMaxAbs(t *testing.T) {
+	if got := MaxAbs([]float64{-9, 2}, []float64{3, 4}); got != 9 {
+		t.Errorf("MaxAbs = %v, want 9", got)
+	}
+	if got := MaxAbs(nil, nil); got != 0 {
+		t.Errorf("MaxAbs(nil,nil) = %v", got)
+	}
+}

@@ -1,0 +1,156 @@
+// Package tracered is the public API of the similarity-based trace
+// reduction library: a downstream user's single entry point to generating
+// or loading event traces, reducing them with any of the nine similarity
+// methods the SC'09 study evaluates, reconstructing approximate traces,
+// diagnosing performance problems, and scoring reductions against the
+// study's four criteria.
+//
+// The typical pipeline:
+//
+//	full, _ := tracered.GenerateWorkload("late_sender")
+//	method, _ := tracered.NewMethod("avgWave", 0.2)
+//	red, _ := tracered.Reduce(full, method)
+//	recon, _ := red.Reconstruct()
+//	report, _ := tracered.Score(full, red)
+//
+// Everything here is a thin re-export of the internal packages; see
+// DESIGN.md for the architecture.
+package tracered
+
+import (
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/cube"
+	"repro/internal/eval"
+	"repro/internal/expert"
+	"repro/internal/segment"
+	"repro/internal/trace"
+)
+
+// Core data model re-exports.
+type (
+	// Trace is a complete application event trace (one stream per rank).
+	Trace = trace.Trace
+	// RankTrace is one process's ordered event stream.
+	RankTrace = trace.RankTrace
+	// Event is a single timestamped program activity.
+	Event = trace.Event
+	// EventKind classifies events.
+	EventKind = trace.EventKind
+	// Time is a timestamp/duration in microseconds.
+	Time = trace.Time
+	// Segment is a marker-delimited slice of one rank's trace.
+	Segment = segment.Segment
+	// Method is a segment-similarity policy.
+	Method = core.Policy
+	// Reduced is a reduced application trace (representatives + execution
+	// log).
+	Reduced = core.Reduced
+	// Diagnosis is an EXPERT-style performance diagnosis.
+	Diagnosis = expert.Diagnosis
+	// DiagnosisKey addresses one (metric, location) diagnosis cell.
+	DiagnosisKey = expert.Key
+	// Verdict is the outcome of a trend-retention comparison.
+	Verdict = cube.Verdict
+	// EvalResult bundles the study's four criteria for one reduction.
+	EvalResult = eval.Result
+)
+
+// MethodNames lists the nine similarity methods in the paper's order:
+// relDiff, absDiff, manhattan, euclidean, chebyshev, iter_k, iter_avg,
+// avgWave, haarWave.
+var MethodNames = core.MethodNames
+
+// DefaultThresholds maps each method to the best threshold selected by
+// the paper's threshold study.
+var DefaultThresholds = core.DefaultThresholds
+
+// NewMethod constructs a similarity method by name and threshold.
+func NewMethod(name string, threshold float64) (Method, error) {
+	return core.NewMethod(name, threshold)
+}
+
+// DefaultMethod constructs a method at its paper-default threshold.
+func DefaultMethod(name string) (Method, error) { return core.DefaultMethod(name) }
+
+// Reduce segments every rank of t and reduces it with the method,
+// keeping one representative per repeating pattern.
+func Reduce(t *Trace, m Method) (*Reduced, error) { return core.Reduce(t, m) }
+
+// SplitSegments segments a trace without reducing it; the result is
+// indexed by rank.
+func SplitSegments(t *Trace) ([][]*Segment, error) { return segment.SplitTrace(t) }
+
+// ApproximationDistance reports the absolute timestamp error that the
+// given quantile of stamps stays within when approx is compared with full
+// (the paper uses quantile 0.9).
+func ApproximationDistance(full, approx *Trace, quantile float64) (Time, error) {
+	return core.ApproximationDistance(full, approx, quantile)
+}
+
+// Analyze produces the EXPERT-style diagnosis of a trace.
+func Analyze(t *Trace) (*Diagnosis, error) { return expert.Analyze(t) }
+
+// CompareDiagnoses judges whether the reconstructed trace's diagnosis
+// retains the full trace's performance trends under the study's
+// guidelines.
+func CompareDiagnoses(full, approx *Diagnosis) Verdict {
+	return cube.Compare(full, approx, cube.DefaultCompareOptions())
+}
+
+// Chart renders a diagnosis as a per-rank severity chart (the textual
+// analogue of the paper's CUBE screenshots). Cells below minFrac of the
+// chart scale are omitted.
+func Chart(d *Diagnosis, minFrac float64) string { return cube.Chart(d, minFrac) }
+
+// Score scores an already-computed reduction against its full trace,
+// returning all four study criteria.
+func Score(full *Trace, red *Reduced) (*EvalResult, error) {
+	fullDiag, err := expert.Analyze(full)
+	if err != nil {
+		return nil, err
+	}
+	return eval.EvaluateReduced(full, fullDiag, red)
+}
+
+// Evaluate runs the full pipeline — reduce, measure, reconstruct,
+// re-diagnose, compare — for a method name and threshold.
+func Evaluate(full *Trace, method string, threshold float64) (*EvalResult, error) {
+	fullDiag, err := expert.Analyze(full)
+	if err != nil {
+		return nil, err
+	}
+	return eval.Evaluate(full, fullDiag, method, threshold)
+}
+
+// WorkloadNames returns the study's 18 workload names in catalog order.
+func WorkloadNames() []string { return eval.AllNames() }
+
+// GenerateWorkload builds and simulates one of the named study workloads
+// and returns its full trace.
+func GenerateWorkload(name string) (*Trace, error) {
+	w, err := eval.Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	return w.Generate()
+}
+
+// WriteTrace stores a trace in the binary trace format.
+func WriteTrace(w io.Writer, t *Trace) error { return trace.Encode(w, t) }
+
+// ReadTrace loads a trace written by WriteTrace.
+func ReadTrace(r io.Reader) (*Trace, error) { return trace.Decode(r) }
+
+// WriteReduced stores a reduced trace in the reduced binary format.
+func WriteReduced(w io.Writer, red *Reduced) error { return core.EncodeReduced(w, red) }
+
+// ReadReduced loads a reduced trace written by WriteReduced.
+func ReadReduced(r io.Reader) (*Reduced, error) { return core.DecodeReduced(r) }
+
+// TraceSize returns the encoded byte size of a full trace.
+func TraceSize(t *Trace) int64 { return trace.EncodedSize(t) }
+
+// ReducedSize returns the encoded byte size of a reduced trace.
+func ReducedSize(red *Reduced) int64 { return core.EncodedReducedSize(red) }
