@@ -1,0 +1,113 @@
+// Package e2e round-trips the CLI pipeline end to end: tracegen writes a
+// workload trace, tracereduce reduces it rank-by-rank through the
+// streaming engine, traceanalyze diagnoses it — all as real subprocesses
+// on a temp dir — and the test then decodes the reduced file and scores
+// it through the library to prove the artifacts are valid.
+package e2e
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+
+	"repro/tracered"
+)
+
+// buildTools compiles the three pipeline commands into dir and returns
+// their paths.
+func buildTools(t *testing.T, dir string) map[string]string {
+	t.Helper()
+	goTool := filepath.Join(runtime.GOROOT(), "bin", "go")
+	if _, err := os.Stat(goTool); err != nil {
+		var lookErr error
+		goTool, lookErr = exec.LookPath("go")
+		if lookErr != nil {
+			t.Skip("go tool not available; skipping CLI round-trip")
+		}
+	}
+	cmd := exec.Command(goTool, "build", "-o", dir,
+		"repro/cmd/tracegen", "repro/cmd/tracereduce", "repro/cmd/traceanalyze")
+	cmd.Dir = "../.." // repo root, where go.mod lives
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building tools: %v\n%s", err, out)
+	}
+	tools := map[string]string{}
+	for _, name := range []string{"tracegen", "tracereduce", "traceanalyze"} {
+		tools[name] = filepath.Join(dir, name)
+	}
+	return tools
+}
+
+// run executes one tool and returns its combined output.
+func run(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %s: %v\n%s", filepath.Base(bin), strings.Join(args, " "), err, out)
+	}
+	return string(out)
+}
+
+func TestCLIRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	tools := buildTools(t, dir)
+	trc := filepath.Join(dir, "late_sender.trc")
+	trr := filepath.Join(dir, "late_sender.trr")
+
+	genOut := run(t, tools["tracegen"], "-workload", "late_sender", "-o", trc)
+	if !strings.Contains(genOut, "late_sender") || !strings.Contains(genOut, "ranks") {
+		t.Errorf("tracegen output unexpected: %q", genOut)
+	}
+	if st, err := os.Stat(trc); err != nil || st.Size() == 0 {
+		t.Fatalf("tracegen wrote no trace: %v", err)
+	}
+
+	redOut := run(t, tools["tracereduce"],
+		"-in", trc, "-method", "avgWave", "-out", trr, "-verify")
+	for _, want := range []string{"degree of matching", "wrote " + trr, "approximation distance", "performance trends"} {
+		if !strings.Contains(redOut, want) {
+			t.Errorf("tracereduce output missing %q:\n%s", want, redOut)
+		}
+	}
+
+	anaOut := run(t, tools["traceanalyze"], "-in", trc)
+	if !strings.Contains(anaOut, "late_sender") {
+		t.Errorf("traceanalyze chart does not name the workload:\n%s", anaOut)
+	}
+
+	// The written artifacts must decode and score through the library.
+	tf, err := os.Open(trc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := tracered.ReadTrace(tf)
+	tf.Close()
+	if err != nil {
+		t.Fatalf("decoding written trace: %v", err)
+	}
+	rf, err := os.Open(trr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	red, err := tracered.ReadReduced(rf)
+	rf.Close()
+	if err != nil {
+		t.Fatalf("decoding written reduction: %v", err)
+	}
+	if red.Name != full.Name {
+		t.Errorf("reduced name %q, want %q", red.Name, full.Name)
+	}
+	if red.StoredSegments() == 0 {
+		t.Error("reduced trace stored no segments")
+	}
+	res, err := tracered.Score(full, red)
+	if err != nil {
+		t.Fatalf("scoring decoded reduction: %v", err)
+	}
+	if res.PctSize <= 0 || res.PctSize >= 100 {
+		t.Errorf("reduced size %.2f%% of full, want within (0, 100)", res.PctSize)
+	}
+}

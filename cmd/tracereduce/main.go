@@ -7,8 +7,11 @@
 //	tracereduce -in late_sender.trc -method avgWave -threshold 0.2 -out late_sender.trr
 //	tracereduce -in late_sender.trc -method iter_k -threshold 10 -verify
 //
-// With -verify the tool also reconstructs the trace and reports the
-// approximation distance and trend retention, the remaining two criteria.
+// The trace is decoded, segmented, and reduced rank by rank on a worker
+// pool, so only a pool's worth of ranks is ever held in memory alongside
+// the reduction. With -verify the tool re-reads the full trace,
+// reconstructs, and reports the approximation distance and trend
+// retention, the remaining two criteria.
 package main
 
 import (
@@ -31,17 +34,6 @@ func main() {
 		fmt.Fprintln(os.Stderr, "tracereduce: -in is required")
 		os.Exit(2)
 	}
-	f, err := os.Open(*in)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "tracereduce:", err)
-		os.Exit(1)
-	}
-	full, err := tracered.ReadTrace(f)
-	f.Close()
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "tracereduce: reading trace:", err)
-		os.Exit(1)
-	}
 	if *threshold < 0 {
 		t, ok := tracered.DefaultThresholds[*method]
 		if !ok {
@@ -55,15 +47,34 @@ func main() {
 		fmt.Fprintln(os.Stderr, "tracereduce:", err)
 		os.Exit(1)
 	}
-	red, err := tracered.Reduce(full, m)
+	f, err := os.Open(*in)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tracereduce:", err)
 		os.Exit(1)
 	}
-	fullBytes := tracered.TraceSize(full)
+	dec, err := tracered.NewTraceDecoder(f)
+	if err != nil {
+		f.Close()
+		fmt.Fprintln(os.Stderr, "tracereduce: reading trace:", err)
+		os.Exit(1)
+	}
+	red, err := tracered.ReduceStream(dec, m)
+	f.Close()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracereduce:", err)
+		os.Exit(1)
+	}
+	// The input file is the encoded full trace, so its size on disk is the
+	// full-trace byte count the paper's size criterion divides by.
+	st, err := os.Stat(*in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracereduce:", err)
+		os.Exit(1)
+	}
+	fullBytes := st.Size()
 	redBytes := tracered.ReducedSize(red)
 	fmt.Printf("%s + %s(t=%g): %d -> %d bytes (%.2f%%), degree of matching %.3f, %d stored segments\n",
-		full.Name, *method, *threshold, fullBytes, redBytes,
+		red.Name, *method, *threshold, fullBytes, redBytes,
 		100*float64(redBytes)/float64(fullBytes), red.DegreeOfMatching(), red.StoredSegments())
 
 	if *out != "" {
@@ -84,6 +95,19 @@ func main() {
 		fmt.Println("wrote", *out)
 	}
 	if *verify {
+		// Scoring needs the full trace for the approximation-distance and
+		// trend-retention criteria; re-read it only now that it is needed.
+		h, err := os.Open(*in)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracereduce:", err)
+			os.Exit(1)
+		}
+		full, err := tracered.ReadTrace(h)
+		h.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracereduce: reading trace:", err)
+			os.Exit(1)
+		}
 		res, err := tracered.Score(full, red)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "tracereduce: scoring:", err)

@@ -59,8 +59,8 @@ func (p *distancePolicy) Absorb(*segment.Segment, *segment.Segment) {}
 // worked example gives |17−40|/40 = 0.58). Two zero measurements are
 // equal by definition.
 func relDiffMatch(t float64, a, b *segment.Segment) bool {
-	va := a.Measurements(nil)
-	vb := b.Measurements(nil)
+	va := a.Meas()
+	vb := b.Meas()
 	for i := range va {
 		x, y := va[i], vb[i]
 		d := math.Abs(x - y)
@@ -77,8 +77,8 @@ func relDiffMatch(t float64, a, b *segment.Segment) bool {
 
 // absDiff allows a fixed absolute difference per paired measurement.
 func absDiffMatch(t float64, a, b *segment.Segment) bool {
-	va := a.Measurements(nil)
-	vb := b.Measurements(nil)
+	va := a.Meas()
+	vb := b.Meas()
 	for i := range va {
 		if math.Abs(va[i]-vb[i]) > t {
 			return false
@@ -92,8 +92,8 @@ func absDiffMatch(t float64, a, b *segment.Segment) bool {
 // largest measurement in the pair of vectors (paper Eq. 1 and the worked
 // example: max(51) × 0.2 = 10.2). m = 0 selects Chebyshev (m → ∞).
 func minkowskiMatch(t float64, m int, a, b *segment.Segment) bool {
-	va := a.Measurements(nil)
-	vb := b.Measurements(nil)
+	va := a.Meas()
+	vb := b.Meas()
 	var dist float64
 	var maxVal float64
 	for i := range va {
@@ -133,18 +133,19 @@ func minkowskiMatch(t float64, m int, a, b *segment.Segment) bool {
 // most threshold × the largest value in the pair of transformed vectors
 // (paper Figure 3: 1.9 ≤ 0.2 × 17.625).
 func waveMatch(t float64, haar bool, a, b *segment.Segment) bool {
-	va := a.StampVector(nil)
-	vb := b.StampVector(nil)
-	// Pad both to the larger power of two so the vectors align; segments
-	// passed here always have equal event counts, so this is symmetric.
-	n := wavelet.NextPow2(len(va))
-	if m := wavelet.NextPow2(len(vb)); m > n {
+	// The stamp vector is a rotation of the cached measurement vector —
+	// [0, enters/exits..., end] vs [end, enters/exits...] — so build the
+	// zero-padded transform input straight from Meas without a StampVector
+	// allocation. Segments passed here always have equal event counts, so
+	// the padding is symmetric.
+	ma := a.Meas()
+	mb := b.Meas()
+	n := wavelet.NextPow2(len(ma) + 1)
+	if m := wavelet.NextPow2(len(mb) + 1); m > n {
 		n = m
 	}
-	pa := make([]float64, n)
-	copy(pa, va)
-	pb := make([]float64, n)
-	copy(pb, vb)
+	pa := padStamps(ma, n)
+	pb := padStamps(mb, n)
 	var ta, tb []float64
 	if haar {
 		ta, tb = wavelet.Haar(pa), wavelet.Haar(pb)
@@ -153,6 +154,15 @@ func waveMatch(t float64, haar bool, a, b *segment.Segment) bool {
 	}
 	d := wavelet.Euclidean(ta, tb)
 	return d <= t*wavelet.MaxAbs(ta, tb)
+}
+
+// padStamps lays a measurement vector [end, stamps...] out as the
+// zero-padded stamp vector [0, stamps..., end, 0...] of length n.
+func padStamps(meas []float64, n int) []float64 {
+	p := make([]float64, n)
+	copy(p[1:], meas[1:])
+	p[len(meas)] = meas[0]
+	return p
 }
 
 // NewRelDiff returns the relative-difference policy with the given

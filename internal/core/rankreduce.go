@@ -1,0 +1,98 @@
+package core
+
+import (
+	"repro/internal/segment"
+	"repro/internal/trace"
+)
+
+// RankReducer is the incremental, per-rank form of the reduction engine:
+// a state machine that consumes one rank's segments in trace order and
+// maintains the stored representatives, the execution log, and the
+// matching counters as it goes. It exists so callers can reduce a trace
+// while it is still being decoded or generated — one rank at a time, one
+// segment at a time — instead of materializing every segment of every
+// rank first. Reduce itself is a thin driver that runs one RankReducer
+// per rank on a worker pool.
+//
+// A RankReducer is not safe for concurrent use; use one per goroutine.
+type RankReducer struct {
+	policy Policy
+	out    RankReduced
+	// byClass maps a signature to the stored indices of that pattern
+	// class, in collection order. Signature collisions are guarded by
+	// Comparable in candBuf2IDs.
+	byClass map[segment.Signature][]int
+	candBuf []*segment.Segment
+
+	total, matches, possible int
+}
+
+// NewRankReducer returns a reducer for one rank's segment stream using
+// policy p.
+func NewRankReducer(rank int, p Policy) *RankReducer {
+	return &RankReducer{
+		policy:  p,
+		out:     RankReduced{Rank: rank},
+		byClass: map[segment.Signature][]int{},
+	}
+}
+
+// Feed consumes the rank's next segment: it is either logged as an
+// execution of a matching stored representative of its pattern class or
+// kept (normalized to start 0) as a new representative. Feed takes
+// ownership of s for matching but stores only a clone, so callers may
+// reuse or discard the segment afterwards.
+func (r *RankReducer) Feed(s *segment.Segment) {
+	r.total++
+	rr := &r.out
+	ids := r.byClass[s.Sig()]
+	r.candBuf = r.candBuf[:0]
+	candIDs := candBuf2IDs(ids, rr.Stored, s, &r.candBuf)
+	if len(candIDs) > 0 {
+		r.possible++
+	}
+	if idx := r.policy.Match(r.candBuf, s); idx >= 0 {
+		storedID := candIDs[idx]
+		r.policy.Absorb(rr.Stored[storedID], s)
+		rr.Execs = append(rr.Execs, Exec{ID: storedID, Start: s.Start})
+		r.matches++
+		return
+	}
+	id := len(rr.Stored)
+	kept := s.Clone()
+	kept.Start = 0
+	rr.Stored = append(rr.Stored, kept)
+	rr.Execs = append(rr.Execs, Exec{ID: id, Start: s.Start})
+	r.byClass[s.Sig()] = append(ids, id)
+}
+
+// FeedEvents splits one rank's raw event stream incrementally and feeds
+// every completed segment, fusing segment.Splitter with the reducer so a
+// decoded rank trace never holds its segment list in memory.
+func (r *RankReducer) FeedEvents(rank int, events []trace.Event) error {
+	sp := segment.NewSplitter(rank)
+	for _, e := range events {
+		s, err := sp.Feed(e)
+		if err != nil {
+			return err
+		}
+		if s != nil {
+			r.Feed(s)
+		}
+	}
+	return sp.Finish()
+}
+
+// Finish returns the rank's reduction. The reducer must not be fed
+// afterwards.
+func (r *RankReducer) Finish() RankReduced { return r.out }
+
+// TotalSegments returns the number of segments fed so far.
+func (r *RankReducer) TotalSegments() int { return r.total }
+
+// Matches returns how many fed segments matched a stored representative.
+func (r *RankReducer) Matches() int { return r.matches }
+
+// PossibleMatches returns how many fed segments had any comparable
+// predecessor — the denominator of the degree-of-matching metric.
+func (r *RankReducer) PossibleMatches() int { return r.possible }

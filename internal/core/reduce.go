@@ -2,6 +2,9 @@ package core
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/segment"
 	"repro/internal/trace"
@@ -69,7 +72,75 @@ func (r *Reduced) StoredSegments() int {
 // relative to its start, compared against the stored representatives of
 // its pattern class, and either logged as an execution of a match or
 // appended as a new representative.
+//
+// Ranks are independent (the paper reduces intra-process), so Reduce runs
+// one RankReducer per rank on a GOMAXPROCS-bounded worker pool. The
+// output is deterministic — per-rank results land in the rank-indexed
+// Ranks slice and the counters are merged after the workers join — and
+// byte-identical to the single-threaded reference ReduceSequential.
+// Because p is shared by the workers, policies must be safe for
+// concurrent use on distinct ranks' segments; every built-in policy is
+// stateless and qualifies.
 func Reduce(t *trace.Trace, p Policy) (*Reduced, error) {
+	red := &Reduced{Name: t.Name, Method: p.Name(), Ranks: make([]RankReduced, len(t.Ranks))}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(t.Ranks) {
+		workers = len(t.Ranks)
+	}
+	reducers := make([]*RankReducer, len(t.Ranks))
+	errs := make([]error, len(t.Ranks))
+	if workers <= 1 {
+		for i := range t.Ranks {
+			reducers[i], errs[i] = reduceRank(t, i, p)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(t.Ranks) {
+						return
+					}
+					reducers[i], errs[i] = reduceRank(t, i, p)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for i, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+		rr := reducers[i]
+		red.Ranks[i] = rr.Finish()
+		red.TotalSegments += rr.TotalSegments()
+		red.Matches += rr.Matches()
+		red.PossibleMatches += rr.PossibleMatches()
+	}
+	return red, nil
+}
+
+// reduceRank streams rank i of t through a fused splitter + reducer.
+// RankReduced.Rank is the slice index, matching the historical batch
+// behaviour; the splitter reports errors under the rank's own ID.
+func reduceRank(t *trace.Trace, i int, p Policy) (*RankReducer, error) {
+	r := NewRankReducer(i, p)
+	if err := r.FeedEvents(t.Ranks[i].Rank, t.Ranks[i].Events); err != nil {
+		return nil, fmt.Errorf("trace %q: %w", t.Name, err)
+	}
+	return r, nil
+}
+
+// ReduceSequential is the retained single-threaded reference
+// implementation of Reduce: it materializes every segment of every rank,
+// then runs the matching loop inline. It exists for parity testing and
+// as the baseline the parallel engine is benchmarked against; library
+// users should call Reduce.
+func ReduceSequential(t *trace.Trace, p Policy) (*Reduced, error) {
 	perRank, err := segment.SplitTrace(t)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+
+	"repro/internal/trace"
+)
+
+// ReduceStream reduces a trace that is still being produced: next is
+// called until it returns io.EOF and must yield one rank's event stream
+// per call (trace.Decoder's NextRank, a generator, a network receiver).
+// Ranks are handed to a GOMAXPROCS-bounded pool of RankReducers as they
+// arrive, so at most `workers` ranks are in memory at once — the whole
+// trace never is. The result is byte-identical to Reduce over the
+// materialized trace: ranks land in the Reduced.Ranks slice in arrival
+// order and the counters are merged after the workers join.
+//
+// next is called from one goroutine at a time (serialized internally),
+// so an unsynchronized decoder is fine. Policies must be safe for
+// concurrent use on distinct ranks' segments, as with Reduce.
+func ReduceStream(name string, p Policy, next func() (*trace.RankTrace, error)) (*Reduced, error) {
+	var (
+		srcMu    sync.Mutex // serializes next and the arrival counter
+		arrivals int
+		firstErr error
+
+		resMu    sync.Mutex // guards the growing reducer slice
+		reducers []*RankReducer
+	)
+	fail := func(err error) {
+		srcMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		srcMu.Unlock()
+	}
+	workers := runtime.GOMAXPROCS(0)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				srcMu.Lock()
+				if firstErr != nil {
+					srcMu.Unlock()
+					return
+				}
+				rt, err := next()
+				i := arrivals
+				if err == nil {
+					arrivals++
+				} else if err != io.EOF {
+					firstErr = err
+				}
+				srcMu.Unlock()
+				if err != nil {
+					return
+				}
+				r := NewRankReducer(i, p)
+				if err := r.FeedEvents(rt.Rank, rt.Events); err != nil {
+					fail(fmt.Errorf("trace %q: %w", name, err))
+					return
+				}
+				resMu.Lock()
+				for len(reducers) <= i {
+					reducers = append(reducers, nil)
+				}
+				reducers[i] = r
+				resMu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	red := &Reduced{Name: name, Method: p.Name(), Ranks: make([]RankReduced, len(reducers))}
+	for i, r := range reducers {
+		red.Ranks[i] = r.Finish()
+		red.TotalSegments += r.TotalSegments()
+		red.Matches += r.Matches()
+		red.PossibleMatches += r.PossibleMatches()
+	}
+	return red, nil
+}

@@ -30,7 +30,8 @@ type Segment struct {
 	// folds matches into a running average and increments Weight.
 	Weight int
 
-	sig Signature // cached; computed on first use
+	sig  Signature // cached; computed on first use
+	meas []float64 // cached Measurements; computed on first use of Meas
 }
 
 // Signature identifies the pattern class of a segment: context plus the
@@ -108,6 +109,23 @@ func (s *Segment) Measurements(dst []float64) []float64 {
 	return dst
 }
 
+// Meas returns the segment's measurement vector (see Measurements),
+// computing and caching it on first call. Stored representatives are
+// compared against every later instance of their pattern class, so the
+// cache turns the per-comparison vector build into a one-time cost. The
+// caller must not modify the returned slice; after mutating measurement
+// fields (End, event stamps) call ResetMeas.
+func (s *Segment) Meas() []float64 {
+	if s.meas == nil {
+		s.meas = s.Measurements(make([]float64, 0, s.NumMeasurements()))
+	}
+	return s.meas
+}
+
+// ResetMeas clears the cached measurement vector; call it after mutating
+// a segment's timing fields (iter_avg's Absorb does).
+func (s *Segment) ResetMeas() { s.meas = nil }
+
 // StampVector appends the wavelet input vector: the relative start (always
 // 0), every event enter/exit stamp, and the segment end (paper §3.2.1),
 // returning the extended slice.
@@ -132,42 +150,22 @@ func (s *Segment) Clone() *Segment {
 // Split cuts one rank's event stream into segments. Marker events delimit
 // segments; event times inside each segment are rebased relative to the
 // begin-marker time. The input trace must satisfy trace.Validate's marker
-// discipline (alternating, non-nested, matching contexts).
+// discipline (alternating, non-nested, matching contexts). Split is the
+// batch form of Splitter.
 func Split(rt *trace.RankTrace) ([]*Segment, error) {
+	sp := NewSplitter(rt.Rank)
 	var segs []*Segment
-	var cur *Segment
-	for i, e := range rt.Events {
-		switch e.Kind {
-		case trace.KindMarkBegin:
-			if cur != nil {
-				return nil, fmt.Errorf("segment: rank %d event %d: nested segment %q inside %q",
-					rt.Rank, i, e.Name, cur.Context)
-			}
-			cur = &Segment{Context: e.Name, Rank: rt.Rank, Start: e.Enter, Weight: 1}
-		case trace.KindMarkEnd:
-			if cur == nil {
-				return nil, fmt.Errorf("segment: rank %d event %d: end %q without begin", rt.Rank, i, e.Name)
-			}
-			if cur.Context != e.Name {
-				return nil, fmt.Errorf("segment: rank %d event %d: end %q does not match open %q",
-					rt.Rank, i, e.Name, cur.Context)
-			}
-			cur.End = e.Enter - cur.Start
-			segs = append(segs, cur)
-			cur = nil
-		default:
-			if cur == nil {
-				return nil, fmt.Errorf("segment: rank %d event %d (%s): event outside any segment",
-					rt.Rank, i, e.Name)
-			}
-			rel := e
-			rel.Enter -= cur.Start
-			rel.Exit -= cur.Start
-			cur.Events = append(cur.Events, rel)
+	for _, e := range rt.Events {
+		s, err := sp.Feed(e)
+		if err != nil {
+			return nil, err
+		}
+		if s != nil {
+			segs = append(segs, s)
 		}
 	}
-	if cur != nil {
-		return nil, fmt.Errorf("segment: rank %d: segment %q never closed", rt.Rank, cur.Context)
+	if err := sp.Finish(); err != nil {
+		return nil, err
 	}
 	return segs, nil
 }

@@ -176,8 +176,30 @@ func GetEventRecord(rec []byte, names []string) (Event, error) {
 	}, nil
 }
 
-// Decode reads a trace in the binary format from r.
-func Decode(r io.Reader) (*Trace, error) {
+// noEOF converts io.EOF into io.ErrUnexpectedEOF for reads that must
+// succeed because earlier header fields promised more data.
+func noEOF(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// Decoder reads a binary trace file one rank at a time, so a consumer
+// that processes ranks independently (the streaming reduction pipeline)
+// never holds more than one rank's events in memory. NewDecoder reads the
+// header; each NextRank call decodes the next rank's stream.
+type Decoder struct {
+	br     *bufio.Reader
+	name   string
+	names  []string
+	nRanks int
+	next   int
+}
+
+// NewDecoder reads the trace header (magic, workload name, name table,
+// rank count) from r and returns a Decoder positioned at the first rank.
+func NewDecoder(r io.Reader) (*Decoder, error) {
 	br := bufio.NewReader(r)
 	magic := make([]byte, len(traceMagic))
 	if _, err := io.ReadFull(br, magic); err != nil {
@@ -210,31 +232,66 @@ func Decode(r io.Reader) (*Trace, error) {
 	if nRanks > 1<<20 {
 		return nil, fmt.Errorf("trace: rank count %d too large", nRanks)
 	}
-	t := &Trace{Name: name, Ranks: make([]RankTrace, nRanks)}
-	rec := make([]byte, EventRecordSize)
-	for i := range t.Ranks {
-		var rank, nEvents uint32
-		if err := binary.Read(br, binary.LittleEndian, &rank); err != nil {
-			return nil, err
-		}
-		if err := binary.Read(br, binary.LittleEndian, &nEvents); err != nil {
-			return nil, err
-		}
-		rt := &t.Ranks[i]
-		rt.Rank = int(rank)
-		if nEvents > 0 {
-			rt.Events = make([]Event, 0, nEvents)
-		}
-		for j := uint32(0); j < nEvents; j++ {
-			if _, err := io.ReadFull(br, rec); err != nil {
-				return nil, fmt.Errorf("trace: rank %d event %d: %w", rank, j, err)
-			}
-			e, err := GetEventRecord(rec, names)
-			if err != nil {
-				return nil, err
-			}
-			rt.Events = append(rt.Events, e)
-		}
+	return &Decoder{br: br, name: name, names: names, nRanks: int(nRanks)}, nil
+}
+
+// Name returns the workload name from the trace header.
+func (d *Decoder) Name() string { return d.name }
+
+// NumRanks returns the number of ranks the file declares.
+func (d *Decoder) NumRanks() int { return d.nRanks }
+
+// NextRank decodes the next rank's event stream. It returns io.EOF after
+// the last rank.
+func (d *Decoder) NextRank() (*RankTrace, error) {
+	if d.next >= d.nRanks {
+		return nil, io.EOF
 	}
-	return t, nil
+	d.next++
+	// The header declared d.nRanks ranks, so running out of bytes here is
+	// a truncated file, not a clean end of stream: never surface bare
+	// io.EOF, which consumers take to mean "all declared ranks read".
+	var rank, nEvents uint32
+	if err := binary.Read(d.br, binary.LittleEndian, &rank); err != nil {
+		return nil, fmt.Errorf("trace: rank %d of %d header: %w", d.next-1, d.nRanks, noEOF(err))
+	}
+	if err := binary.Read(d.br, binary.LittleEndian, &nEvents); err != nil {
+		return nil, fmt.Errorf("trace: rank %d of %d header: %w", d.next-1, d.nRanks, noEOF(err))
+	}
+	rt := &RankTrace{Rank: int(rank)}
+	if nEvents > 0 {
+		rt.Events = make([]Event, 0, nEvents)
+	}
+	rec := make([]byte, EventRecordSize)
+	for j := uint32(0); j < nEvents; j++ {
+		if _, err := io.ReadFull(d.br, rec); err != nil {
+			return nil, fmt.Errorf("trace: rank %d event %d: %w", rank, j, err)
+		}
+		e, err := GetEventRecord(rec, d.names)
+		if err != nil {
+			return nil, err
+		}
+		rt.Events = append(rt.Events, e)
+	}
+	return rt, nil
+}
+
+// Decode reads a trace in the binary format from r. It is the batch form
+// of Decoder: every rank is materialized into one Trace.
+func Decode(r io.Reader) (*Trace, error) {
+	d, err := NewDecoder(r)
+	if err != nil {
+		return nil, err
+	}
+	t := &Trace{Name: d.Name(), Ranks: make([]RankTrace, 0, d.NumRanks())}
+	for {
+		rt, err := d.NextRank()
+		if err == io.EOF {
+			return t, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		t.Ranks = append(t.Ranks, *rt)
+	}
 }

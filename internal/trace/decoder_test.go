@@ -1,0 +1,103 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+func decoderTestTrace() *Trace {
+	t := New("stream", 3)
+	now := Time(0)
+	for r := range t.Ranks {
+		for i := 0; i < 2+r; i++ {
+			t.Ranks[r].Events = append(t.Ranks[r].Events,
+				Event{Name: "main.1", Kind: KindMarkBegin, Enter: now, Exit: now, Peer: NoPeer, Root: NoPeer},
+				Event{Name: "work", Kind: KindCompute, Enter: now, Exit: now + 5, Peer: NoPeer, Root: NoPeer},
+				Event{Name: "main.1", Kind: KindMarkEnd, Enter: now + 6, Exit: now + 6, Peer: NoPeer, Root: NoPeer},
+			)
+			now += 10
+		}
+	}
+	return t
+}
+
+func TestDecoderRankByRank(t *testing.T) {
+	full := decoderTestTrace()
+	var buf bytes.Buffer
+	if err := Encode(&buf, full); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	d, err := NewDecoder(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("NewDecoder: %v", err)
+	}
+	if d.Name() != "stream" {
+		t.Errorf("Name = %q, want stream", d.Name())
+	}
+	if d.NumRanks() != 3 {
+		t.Errorf("NumRanks = %d, want 3", d.NumRanks())
+	}
+	for i := 0; i < 3; i++ {
+		rt, err := d.NextRank()
+		if err != nil {
+			t.Fatalf("NextRank(%d): %v", i, err)
+		}
+		if rt.Rank != full.Ranks[i].Rank {
+			t.Errorf("rank %d: id %d, want %d", i, rt.Rank, full.Ranks[i].Rank)
+		}
+		if len(rt.Events) != len(full.Ranks[i].Events) {
+			t.Fatalf("rank %d: %d events, want %d", i, len(rt.Events), len(full.Ranks[i].Events))
+		}
+		for j := range rt.Events {
+			if rt.Events[j] != full.Ranks[i].Events[j] {
+				t.Errorf("rank %d event %d: %+v, want %+v", i, j, rt.Events[j], full.Ranks[i].Events[j])
+			}
+		}
+	}
+	if _, err := d.NextRank(); err != io.EOF {
+		t.Errorf("NextRank after last rank: %v, want io.EOF", err)
+	}
+}
+
+// TestDecoderTruncated truncates the encoding at every possible length —
+// including exactly at rank boundaries, where a bare io.EOF from the
+// next header read would be mistaken for a clean end of stream — and
+// requires every prefix to fail decoding.
+func TestDecoderTruncated(t *testing.T) {
+	full := decoderTestTrace()
+	var buf bytes.Buffer
+	if err := Encode(&buf, full); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	for n := 0; n < buf.Len(); n++ {
+		if _, err := Decode(bytes.NewReader(buf.Bytes()[:n])); err == nil {
+			t.Errorf("prefix of %d/%d bytes decoded without error", n, buf.Len())
+		}
+	}
+	// The streaming decoder must agree: a prefix cut exactly after rank 0
+	// errors at the second NextRank instead of reporting io.EOF.
+	d, err := NewDecoder(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt0, err := d.NextRank()
+	if err != nil {
+		t.Fatal(err)
+	}
+	headerLen := buf.Len()
+	for _, rt := range full.Ranks {
+		headerLen -= 8 + len(rt.Events)*EventRecordSize
+	}
+	cut := headerLen + 8 + len(rt0.Events)*EventRecordSize
+	d2, err := NewDecoder(bytes.NewReader(buf.Bytes()[:cut]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d2.NextRank(); err != nil {
+		t.Fatalf("rank 0 of boundary-cut stream: %v", err)
+	}
+	if _, err := d2.NextRank(); err == nil || err == io.EOF {
+		t.Errorf("rank 1 of boundary-cut stream: err = %v, want unexpected-EOF decode error", err)
+	}
+}

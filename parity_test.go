@@ -1,0 +1,121 @@
+// Parity tests: the parallel streaming reduction engine must produce
+// results byte-identical to the retained sequential reference path for
+// every workload × method at the paper's default thresholds. The encoded
+// reduced form covers the stored segments and execution logs; the
+// counters are compared directly.
+package repro
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/trace"
+)
+
+var (
+	parityOnce   sync.Once
+	parityRunner *eval.Runner
+)
+
+// parityTrace returns the named workload's full trace from a process-wide
+// cache shared with the benchmarks' runner layout.
+func parityTrace(t *testing.T, name string) *trace.Trace {
+	t.Helper()
+	parityOnce.Do(func() { parityRunner = eval.NewRunner() })
+	full, err := parityRunner.Trace(name)
+	if err != nil {
+		t.Fatalf("generating %s: %v", name, err)
+	}
+	return full
+}
+
+// encodeReduced renders a reduction to its canonical byte form.
+func encodeReduced(t *testing.T, red *core.Reduced) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := core.EncodeReduced(&buf, red); err != nil {
+		t.Fatalf("encoding reduction: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestParallelSequentialParity reduces every workload with every method
+// at default thresholds through both engines and requires identical
+// stored segments, execs (via the encoded form), and counters.
+func TestParallelSequentialParity(t *testing.T) {
+	for _, workload := range eval.AllNames() {
+		workload := workload
+		t.Run(workload, func(t *testing.T) {
+			full := parityTrace(t, workload)
+			for _, method := range core.MethodNames {
+				// Fresh policy instances per engine: iter_avg mutates stored
+				// representatives, so sharing one policy value is fine, but
+				// fresh ones rule out any cross-run coupling.
+				pPar, err := core.DefaultMethod(method)
+				if err != nil {
+					t.Fatal(err)
+				}
+				pSeq, err := core.DefaultMethod(method)
+				if err != nil {
+					t.Fatal(err)
+				}
+				par, err := core.Reduce(full, pPar)
+				if err != nil {
+					t.Fatalf("%s: Reduce: %v", method, err)
+				}
+				seq, err := core.ReduceSequential(full, pSeq)
+				if err != nil {
+					t.Fatalf("%s: ReduceSequential: %v", method, err)
+				}
+				if par.TotalSegments != seq.TotalSegments ||
+					par.Matches != seq.Matches ||
+					par.PossibleMatches != seq.PossibleMatches {
+					t.Errorf("%s: counters differ: parallel (%d,%d,%d) vs sequential (%d,%d,%d)",
+						method, par.TotalSegments, par.Matches, par.PossibleMatches,
+						seq.TotalSegments, seq.Matches, seq.PossibleMatches)
+				}
+				if !bytes.Equal(encodeReduced(t, par), encodeReduced(t, seq)) {
+					t.Errorf("%s: encoded reductions differ", method)
+				}
+			}
+		})
+	}
+}
+
+// TestStreamingDecodeReduceParity round-trips each workload through the
+// binary trace format and the rank-at-a-time streaming pipeline
+// (decode → split → reduce), requiring byte-identical output to the
+// sequential batch path — the guarantee cmd/tracereduce relies on.
+func TestStreamingDecodeReduceParity(t *testing.T) {
+	const method = "avgWave"
+	for _, workload := range eval.AllNames() {
+		workload := workload
+		t.Run(workload, func(t *testing.T) {
+			full := parityTrace(t, workload)
+			var enc bytes.Buffer
+			if err := trace.Encode(&enc, full); err != nil {
+				t.Fatalf("encoding trace: %v", err)
+			}
+			d, err := trace.NewDecoder(bytes.NewReader(enc.Bytes()))
+			if err != nil {
+				t.Fatalf("NewDecoder: %v", err)
+			}
+			pStream, _ := core.DefaultMethod(method)
+			pSeq, _ := core.DefaultMethod(method)
+			streamed, err := core.ReduceStream(d.Name(), pStream, d.NextRank)
+			if err != nil {
+				t.Fatalf("ReduceStream: %v", err)
+			}
+			seq, err := core.ReduceSequential(full, pSeq)
+			if err != nil {
+				t.Fatalf("ReduceSequential: %v", err)
+			}
+			if !bytes.Equal(encodeReduced(t, streamed), encodeReduced(t, seq)) {
+				t.Errorf("streamed and sequential reductions differ")
+			}
+		})
+	}
+}

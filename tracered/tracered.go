@@ -75,8 +75,48 @@ func NewMethod(name string, threshold float64) (Method, error) {
 func DefaultMethod(name string) (Method, error) { return core.DefaultMethod(name) }
 
 // Reduce segments every rank of t and reduces it with the method,
-// keeping one representative per repeating pattern.
+// keeping one representative per repeating pattern. Ranks are reduced in
+// parallel on a GOMAXPROCS-bounded worker pool; the result is
+// deterministic and byte-identical to ReduceSequential.
 func Reduce(t *Trace, m Method) (*Reduced, error) { return core.Reduce(t, m) }
+
+// ReduceSequential is the retained single-threaded reference reduction;
+// prefer Reduce.
+func ReduceSequential(t *Trace, m Method) (*Reduced, error) { return core.ReduceSequential(t, m) }
+
+// Streaming API: the incremental building blocks the batch entry points
+// are made of, for callers that reduce traces too large to materialize.
+type (
+	// RankReduced is the reduced form of one rank's trace.
+	RankReduced = core.RankReduced
+	// RankReducer reduces one rank's segment stream incrementally.
+	RankReducer = core.RankReducer
+	// SegmentSplitter cuts one rank's event stream into segments
+	// incrementally.
+	SegmentSplitter = segment.Splitter
+	// TraceDecoder reads a binary trace file one rank at a time.
+	TraceDecoder = trace.Decoder
+)
+
+// NewRankReducer returns an incremental reducer for one rank's segments:
+// Feed segments (or FeedEvents raw events) as they arrive, then Finish.
+func NewRankReducer(rank int, m Method) *RankReducer { return core.NewRankReducer(rank, m) }
+
+// NewSegmentSplitter returns an incremental splitter for one rank's
+// events: Feed events in trace order; completed segments come back as
+// their closing markers arrive.
+func NewSegmentSplitter(rank int) *SegmentSplitter { return segment.NewSplitter(rank) }
+
+// NewTraceDecoder opens a binary trace stream for rank-at-a-time
+// decoding.
+func NewTraceDecoder(r io.Reader) (*TraceDecoder, error) { return trace.NewDecoder(r) }
+
+// ReduceStream reduces ranks as d decodes them, holding at most a worker
+// pool's worth of ranks in memory instead of the whole trace. The result
+// is byte-identical to Reduce over the fully decoded trace.
+func ReduceStream(d *TraceDecoder, m Method) (*Reduced, error) {
+	return core.ReduceStream(d.Name(), m, d.NextRank)
+}
 
 // SplitSegments segments a trace without reducing it; the result is
 // indexed by rank.
