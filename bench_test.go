@@ -15,6 +15,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/eval"
+	"repro/internal/expert"
 	"repro/internal/trace"
 )
 
@@ -39,10 +40,13 @@ func sharedRunner(b *testing.B) *eval.Runner {
 	return runner
 }
 
-// runCells evaluates a grid once and fails the benchmark on error.
+// runCells evaluates a grid once and fails the benchmark on error. The
+// runner's cell cache is dropped first so every call measures evaluation
+// work, not memoized results.
 func runCells(b *testing.B, cells []eval.Cell) []*eval.Result {
 	b.Helper()
 	r := sharedRunner(b)
+	r.ResetCells()
 	results, err := r.RunGrid(cells)
 	if err != nil {
 		b.Fatal(err)
@@ -393,6 +397,26 @@ func BenchmarkPipelineStages(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := red.Reconstruct(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("analyze/reduced", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := expert.AnalyzeReduced(red); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	recon, err := red.Reconstruct()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("analyze/reconstructed", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := expert.Analyze(recon); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -5,12 +5,18 @@
 // Sweep3D runs), Tables 1-18 (retention of performance trends per
 // workload), and the §5.2.3 method ranking.
 //
+// Every cell is scored directly from its reduced form (no trace
+// reconstruction) and the full 18-workloads × 9-methods × threshold-sweep
+// grid runs through one bounded worker pool; overlapping figures and
+// tables share cell results through the runner's cache.
+//
 // Usage:
 //
 //	evalstudy -summary            # comparative study + ranking
 //	evalstudy -fig 5              # one figure
 //	evalstudy -table 17           # one appendix table
 //	evalstudy -all                # everything (EXPERIMENTS.md input)
+//	evalstudy -all -workers 4     # bound the evaluation pool
 package main
 
 import (
@@ -51,9 +57,11 @@ func main() {
 	table := flag.Int("table", 0, "regenerate one appendix table (1-18)")
 	summary := flag.Bool("summary", false, "comparative study and method ranking")
 	all := flag.Bool("all", false, "regenerate every figure and table")
+	workers := flag.Int("workers", 0, "evaluation pool size (0 = all cores)")
 	flag.Parse()
 
 	r := eval.NewRunner()
+	r.SetWorkers(*workers)
 	if err := run(r, *fig, *table, *summary, *all); err != nil {
 		fmt.Fprintln(os.Stderr, "evalstudy:", err)
 		os.Exit(1)
@@ -63,6 +71,12 @@ func main() {
 func run(r *eval.Runner, fig, table int, summary, all bool) error {
 	switch {
 	case all:
+		// Evaluate the entire study grid through one worker pool up
+		// front; every figure and table below renders from the runner's
+		// cell cache.
+		if _, err := r.RunGrid(eval.StudyCells()); err != nil {
+			return err
+		}
 		if err := comparative(r, true); err != nil {
 			return err
 		}

@@ -1,23 +1,31 @@
 // Command traceanalyze runs the EXPERT-style pattern analysis over a
 // trace file and prints the CUBE-style severity chart plus the raw
-// per-rank severities.
+// per-rank severities. It accepts both full traces (TRC1) and reduced
+// traces (TRR1, as written by tracereduce); reduced traces are diagnosed
+// directly from their representatives and execution records, without
+// reconstructing the approximate event stream. See docs/FORMATS.md for
+// the two formats.
 //
 // Usage:
 //
 //	traceanalyze -in late_sender.trc
+//	traceanalyze -in late_sender.trr       # direct-from-reduced
 //	traceanalyze -in late_sender.trc -min 0.05
 package main
 
 import (
+	"bufio"
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/tracered"
 )
 
 func main() {
-	in := flag.String("in", "", "input trace file")
+	in := flag.String("in", "", "input trace file (.trc full or .trr reduced)")
 	min := flag.Float64("min", 0.02, "hide chart rows below this fraction of the max severity")
 	raw := flag.Bool("raw", false, "also print raw per-rank severities")
 	flag.Parse()
@@ -31,13 +39,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "traceanalyze:", err)
 		os.Exit(1)
 	}
-	t, err := tracered.ReadTrace(f)
+	d, err := diagnose(f)
 	f.Close()
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "traceanalyze: reading trace:", err)
-		os.Exit(1)
-	}
-	d, err := tracered.Analyze(t)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "traceanalyze:", err)
 		os.Exit(1)
@@ -48,4 +51,28 @@ func main() {
 			fmt.Printf("%-40s total=%12.0f ranks=%v\n", k, d.Total(k), d.Sev[k])
 		}
 	}
+}
+
+// diagnose peeks at the file magic and dispatches: full traces are
+// analyzed event by event, reduced traces through the
+// direct-from-reduced engine. The stream is never materialized here;
+// both readers decode from it directly.
+func diagnose(r io.Reader) (*tracered.Diagnosis, error) {
+	br := bufio.NewReader(r)
+	magic, err := br.Peek(4)
+	if err != nil {
+		return nil, fmt.Errorf("reading magic: %w", err)
+	}
+	if bytes.Equal(magic, []byte("TRR1")) {
+		red, err := tracered.ReadReduced(br)
+		if err != nil {
+			return nil, fmt.Errorf("reading reduced trace: %w", err)
+		}
+		return tracered.AnalyzeReduced(red)
+	}
+	t, err := tracered.ReadTrace(br)
+	if err != nil {
+		return nil, fmt.Errorf("reading trace: %w", err)
+	}
+	return tracered.Analyze(t)
 }

@@ -10,7 +10,8 @@ import (
 	"repro/internal/trace"
 )
 
-// Reduced trace file format.
+// Reduced trace file format (TRR1). The byte-level specification lives
+// in docs/FORMATS.md; this comment is the summary.
 //
 // All integers little-endian. Layout:
 //
@@ -102,11 +103,13 @@ func EncodeReduced(w io.Writer, r *Reduced) error {
 				}
 			}
 		}
+		// Exec records dominate a well-reduced file; write them through a
+		// fixed buffer instead of two reflective binary.Write calls each.
+		var exrec [ExecRecordSize]byte
 		for _, ex := range rr.Execs {
-			if err := binary.Write(bw, le, uint32(ex.ID)); err != nil {
-				return err
-			}
-			if err := binary.Write(bw, le, ex.Start); err != nil {
+			le.PutUint32(exrec[0:], uint32(ex.ID))
+			le.PutUint64(exrec[4:], uint64(ex.Start))
+			if _, err := bw.Write(exrec[:]); err != nil {
 				return err
 			}
 		}

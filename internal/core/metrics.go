@@ -2,7 +2,7 @@ package core
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/trace"
 )
@@ -36,10 +36,94 @@ func ApproximationDistance(full, approx *trace.Trace, quantile float64) (trace.T
 			diffs = append(diffs, d)
 		}
 	}
-	if len(diffs) == 0 {
-		return 0, nil
+	return quantileAbsDiff(diffs, quantile), nil
+}
+
+// ApproximationDistanceReduced computes the same §4.3.3 error metric
+// directly from the reduced form: the timestamps reconstruction would
+// emit are each representative's relative stamps shifted by the
+// execution's start, so the comparison walks the execution records in
+// lockstep with the full trace instead of materializing a
+// reconstruction (or even the stamp vectors). The result is identical to
+// ApproximationDistance(full, red.Reconstruct(), quantile); that path
+// remains as the parity reference.
+func ApproximationDistanceReduced(full *trace.Trace, red *Reduced, quantile float64) (trace.Time, error) {
+	if quantile <= 0 || quantile > 1 {
+		return 0, fmt.Errorf("core: quantile must be in (0,1], got %g", quantile)
 	}
-	sort.Slice(diffs, func(i, j int) bool { return diffs[i] < diffs[j] })
+	if len(full.Ranks) != len(red.Ranks) {
+		return 0, fmt.Errorf("core: rank count mismatch %d vs %d", len(full.Ranks), len(red.Ranks))
+	}
+	// One counting pass sizes the diff buffer and validates execution ids.
+	total := 0
+	for r := range red.Ranks {
+		rr := &red.Ranks[r]
+		for _, ex := range rr.Execs {
+			if ex.ID < 0 || ex.ID >= len(rr.Stored) {
+				return 0, fmt.Errorf("core: rank %d exec references segment %d of %d", r, ex.ID, len(rr.Stored))
+			}
+			total += 2 * len(rr.Stored[ex.ID].Events)
+		}
+	}
+	diffs := make([]trace.Time, 0, total)
+	for r := range full.Ranks {
+		events := full.Ranks[r].Events
+		rr := &red.Ranks[r]
+		i := 0 // cursor over the full rank's non-marker events
+		for _, ex := range rr.Execs {
+			for _, e := range rr.Stored[ex.ID].Events {
+				for i < len(events) && events[i].Kind.IsMarker() {
+					i++
+				}
+				if i >= len(events) {
+					return 0, stampCountMismatch(full, red, r)
+				}
+				fe := &events[i]
+				i++
+				d1 := fe.Enter - (e.Enter + ex.Start)
+				if d1 < 0 {
+					d1 = -d1
+				}
+				d2 := fe.Exit - (e.Exit + ex.Start)
+				if d2 < 0 {
+					d2 = -d2
+				}
+				diffs = append(diffs, d1, d2)
+			}
+		}
+		for ; i < len(events); i++ {
+			if !events[i].Kind.IsMarker() {
+				return 0, stampCountMismatch(full, red, r)
+			}
+		}
+	}
+	return quantileAbsDiff(diffs, quantile), nil
+}
+
+// stampCountMismatch builds the timestamp-count error for rank r in the
+// same shape the reconstruct-based path reports.
+func stampCountMismatch(full *trace.Trace, red *Reduced, r int) error {
+	nFull := 0
+	for _, e := range full.Ranks[r].Events {
+		if !e.Kind.IsMarker() {
+			nFull += 2
+		}
+	}
+	nRed := 0
+	rr := &red.Ranks[r]
+	for _, ex := range rr.Execs {
+		nRed += 2 * len(rr.Stored[ex.ID].Events)
+	}
+	return fmt.Errorf("core: rank %d timestamp count mismatch %d vs %d", r, nFull, nRed)
+}
+
+// quantileAbsDiff sorts the collected absolute differences and returns
+// the value the given quantile of them stays within (0 for no stamps).
+func quantileAbsDiff(diffs []trace.Time, quantile float64) trace.Time {
+	if len(diffs) == 0 {
+		return 0
+	}
+	slices.Sort(diffs)
 	idx := int(quantile*float64(len(diffs))) - 1
 	if idx < 0 {
 		idx = 0
@@ -47,7 +131,7 @@ func ApproximationDistance(full, approx *trace.Trace, quantile float64) (trace.T
 	if idx >= len(diffs) {
 		idx = len(diffs) - 1
 	}
-	return diffs[idx], nil
+	return diffs[idx]
 }
 
 // SizeReport summarizes the file-size criterion for one reduction.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/cube"
@@ -37,15 +38,23 @@ type Result struct {
 	FullBytes, ReducedBytes int64
 	// StoredSegments and TotalSegments describe the reduction shape.
 	StoredSegments, TotalSegments int
-	// Diag is the reconstructed trace's diagnosis (for chart rendering).
+	// Diag is the reduction's diagnosis (for chart rendering), computed
+	// directly from the reduced form; it equals the diagnosis of the
+	// reconstructed trace.
 	Diag *expert.Diagnosis
 }
 
 // Evaluate runs the complete pipeline for one cell: reduce the full trace
-// with the policy, measure sizes and matching, reconstruct, measure
-// timestamp error, re-analyze, and judge trend retention against the
-// full-trace diagnosis.
+// with the policy, measure sizes and matching, then score timestamp
+// error, re-diagnose, and judge trend retention — all directly from the
+// reduced form, never reconstructing the approximate trace.
 func Evaluate(full *trace.Trace, fullDiag *expert.Diagnosis, method string, threshold float64) (*Result, error) {
+	return evaluateCell(full, fullDiag, method, threshold, trace.EncodedSize(full))
+}
+
+// evaluateCell is the shared reduce-then-score pipeline behind Evaluate
+// and Runner.evaluate; the latter supplies a cached full-trace size.
+func evaluateCell(full *trace.Trace, fullDiag *expert.Diagnosis, method string, threshold float64, fullBytes int64) (*Result, error) {
 	p, err := core.NewMethod(method, threshold)
 	if err != nil {
 		return nil, err
@@ -54,7 +63,7 @@ func Evaluate(full *trace.Trace, fullDiag *expert.Diagnosis, method string, thre
 	if err != nil {
 		return nil, fmt.Errorf("eval: reducing %s with %s: %w", full.Name, method, err)
 	}
-	res, err := EvaluateReduced(full, fullDiag, red)
+	res, err := EvaluateReducedSized(full, fullDiag, red, fullBytes)
 	if err != nil {
 		return nil, err
 	}
@@ -63,11 +72,45 @@ func Evaluate(full *trace.Trace, fullDiag *expert.Diagnosis, method string, thre
 }
 
 // EvaluateReduced scores an already-computed reduction against the full
-// trace and its diagnosis. Result.Threshold is left zero; Evaluate fills
-// it for threshold-study cells.
+// trace and its diagnosis, using the direct-from-reduced engine
+// (expert.AnalyzeReduced, core.ApproximationDistanceReduced): scoring
+// cost is proportional to representatives + execution records +
+// communication events, not the full event count. Result.Threshold is
+// left zero; Evaluate fills it for threshold-study cells.
 func EvaluateReduced(full *trace.Trace, fullDiag *expert.Diagnosis, red *core.Reduced) (*Result, error) {
+	return EvaluateReducedSized(full, fullDiag, red, trace.EncodedSize(full))
+}
+
+// EvaluateReducedSized is EvaluateReduced with the full trace's encoded
+// byte size supplied by the caller; Runner caches it per workload so
+// study grids don't re-encode the same full trace for every cell.
+func EvaluateReducedSized(full *trace.Trace, fullDiag *expert.Diagnosis, red *core.Reduced, fullBytes int64) (*Result, error) {
 	method := red.Method
-	sizes := core.Sizes(full, red)
+	dist, err := core.ApproximationDistanceReduced(full, red, 0.9)
+	if err != nil {
+		return nil, fmt.Errorf("eval: approximation distance %s/%s: %w", full.Name, method, err)
+	}
+	diag, err := expert.AnalyzeReduced(red)
+	if err != nil {
+		return nil, fmt.Errorf("eval: analyzing reduced %s/%s: %w", full.Name, method, err)
+	}
+	return finishResult(full, fullDiag, red, fullBytes, dist, diag), nil
+}
+
+// EvaluateReducedReconstruct is the retained reconstruct-based reference
+// scorer, mirroring core.ReduceSequential: it materializes
+// red.Reconstruct() and re-walks every event. parity_test.go holds
+// EvaluateReduced to byte-for-byte the same Result; library users should
+// call EvaluateReduced.
+func EvaluateReducedReconstruct(full *trace.Trace, fullDiag *expert.Diagnosis, red *core.Reduced) (*Result, error) {
+	return EvaluateReducedReconstructSized(full, fullDiag, red, trace.EncodedSize(full))
+}
+
+// EvaluateReducedReconstructSized is EvaluateReducedReconstruct with the
+// full trace's encoded size supplied by the caller, the reference
+// counterpart of EvaluateReducedSized.
+func EvaluateReducedReconstructSized(full *trace.Trace, fullDiag *expert.Diagnosis, red *core.Reduced, fullBytes int64) (*Result, error) {
+	method := red.Method
 	recon, err := red.Reconstruct()
 	if err != nil {
 		return nil, fmt.Errorf("eval: reconstructing %s/%s: %w", full.Name, method, err)
@@ -80,10 +123,18 @@ func EvaluateReduced(full *trace.Trace, fullDiag *expert.Diagnosis, red *core.Re
 	if err != nil {
 		return nil, fmt.Errorf("eval: analyzing reconstructed %s/%s: %w", full.Name, method, err)
 	}
+	return finishResult(full, fullDiag, red, fullBytes, dist, diag), nil
+}
+
+// finishResult assembles the Result shared by the direct and
+// reconstruct-based scorers.
+func finishResult(full *trace.Trace, fullDiag *expert.Diagnosis, red *core.Reduced,
+	fullBytes int64, dist trace.Time, diag *expert.Diagnosis) *Result {
 	verdict := cube.Compare(fullDiag, diag, cube.DefaultCompareOptions())
+	sizes := core.SizeReport{FullBytes: fullBytes, ReducedBytes: core.EncodedReducedSize(red)}
 	return &Result{
 		Workload:       full.Name,
-		Method:         method,
+		Method:         red.Method,
 		PctSize:        sizes.Percent(),
 		Degree:         red.DegreeOfMatching(),
 		ApproxDist:     dist,
@@ -94,26 +145,86 @@ func EvaluateReduced(full *trace.Trace, fullDiag *expert.Diagnosis, red *core.Re
 		StoredSegments: red.StoredSegments(),
 		TotalSegments:  red.TotalSegments,
 		Diag:           diag,
-	}, nil
+	}
 }
 
-// Runner caches workload traces and full-trace diagnoses across
-// evaluation cells and runs grids of cells in parallel.
+// Runner caches workload traces, full-trace diagnoses, encoded full
+// sizes, and per-cell results across evaluation cells, and runs grids of
+// cells on a bounded worker pool. Every cell is computed at most once per
+// Runner, so overlapping grids (the comparative study, threshold sweeps,
+// retention tables) share work.
 type Runner struct {
 	traces *traceCache
 
+	// workers bounds the grid pool; 0 means GOMAXPROCS.
+	workers int
+
 	mu    sync.Mutex
 	diags map[string]*expert.Diagnosis
+	sizes map[string]int64
+	cells map[Cell]*cellEntry
+}
+
+// cellEntry memoizes one evaluated cell; once serializes concurrent
+// requests for the same cell.
+type cellEntry struct {
+	once sync.Once
+	res  *Result
+	err  error
 }
 
 // NewRunner returns an empty runner.
 func NewRunner() *Runner {
-	return &Runner{traces: newTraceCache(), diags: map[string]*expert.Diagnosis{}}
+	return &Runner{
+		traces: newTraceCache(),
+		diags:  map[string]*expert.Diagnosis{},
+		sizes:  map[string]int64{},
+		cells:  map[Cell]*cellEntry{},
+	}
+}
+
+// SetWorkers bounds the number of concurrent cell evaluations in RunGrid;
+// n <= 0 restores the default (GOMAXPROCS).
+func (r *Runner) SetWorkers(n int) {
+	r.mu.Lock()
+	r.workers = n
+	r.mu.Unlock()
+}
+
+// ResetCells drops the memoized cell results while keeping the (far more
+// expensive) traces, diagnoses, and sizes. Benchmarks that time repeated
+// grid evaluations call it between iterations so they measure evaluation
+// work, not cache hits.
+func (r *Runner) ResetCells() {
+	r.mu.Lock()
+	r.cells = map[Cell]*cellEntry{}
+	r.mu.Unlock()
 }
 
 // Trace returns the (cached) full trace of the named workload.
 func (r *Runner) Trace(workload string) (*trace.Trace, error) {
 	return r.traces.get(workload)
+}
+
+// FullBytes returns the (cached) encoded byte size of the workload's full
+// trace — the denominator of the file-size criterion, shared across every
+// cell of the workload.
+func (r *Runner) FullBytes(workload string) (int64, error) {
+	r.mu.Lock()
+	n, ok := r.sizes[workload]
+	r.mu.Unlock()
+	if ok {
+		return n, nil
+	}
+	t, err := r.Trace(workload)
+	if err != nil {
+		return 0, err
+	}
+	n = trace.EncodedSize(t)
+	r.mu.Lock()
+	r.sizes[workload] = n
+	r.mu.Unlock()
+	return n, nil
 }
 
 // Diagnosis returns the (cached) EXPERT diagnosis of the workload's full
@@ -152,8 +263,23 @@ func DefaultCell(workload, method string) Cell {
 	return Cell{Workload: workload, Method: method, Threshold: core.DefaultThresholds[method]}
 }
 
-// Run evaluates one cell.
+// Run evaluates one cell, memoizing the result: repeated requests for the
+// same cell (the full study's grids overlap heavily) cost one map lookup.
 func (r *Runner) Run(c Cell) (*Result, error) {
+	r.mu.Lock()
+	e, ok := r.cells[c]
+	if !ok {
+		e = &cellEntry{}
+		r.cells[c] = e
+	}
+	r.mu.Unlock()
+	e.once.Do(func() { e.res, e.err = r.evaluate(c) })
+	return e.res, e.err
+}
+
+// evaluate computes one cell from the caches: reduce, then score directly
+// from the reduced form.
+func (r *Runner) evaluate(c Cell) (*Result, error) {
 	full, err := r.Trace(c.Workload)
 	if err != nil {
 		return nil, err
@@ -162,12 +288,17 @@ func (r *Runner) Run(c Cell) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return Evaluate(full, fullDiag, c.Method, c.Threshold)
+	fullBytes, err := r.FullBytes(c.Workload)
+	if err != nil {
+		return nil, err
+	}
+	return evaluateCell(full, fullDiag, c.Method, c.Threshold, fullBytes)
 }
 
-// RunGrid evaluates the given cells concurrently (bounded by GOMAXPROCS
-// workers) and returns results in cell order. The first error aborts the
-// grid.
+// RunGrid evaluates the given cells on a bounded worker pool (SetWorkers,
+// default GOMAXPROCS) and returns results in cell order. Duplicate and
+// previously evaluated cells are served from the cache; the first error
+// in cell order aborts the grid.
 func (r *Runner) RunGrid(cells []Cell) ([]*Result, error) {
 	// Pre-generate traces sequentially so the workers don't all stampede
 	// into the same cache entry (sync.Once already serializes, but this
@@ -181,24 +312,49 @@ func (r *Runner) RunGrid(cells []Cell) ([]*Result, error) {
 			}
 		}
 	}
-	results := make([]*Result, len(cells))
-	errs := make([]error, len(cells))
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	var wg sync.WaitGroup
-	for i, c := range cells {
-		wg.Add(1)
-		go func(i int, c Cell) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			results[i], errs[i] = r.Run(c)
-		}(i, c)
+	// Dedupe into a work list; the pool claims cells by atomic counter.
+	uniq := make([]Cell, 0, len(cells))
+	inList := map[Cell]bool{}
+	for _, c := range cells {
+		if !inList[c] {
+			inList[c] = true
+			uniq = append(uniq, c)
+		}
 	}
-	wg.Wait()
-	for _, err := range errs {
+	r.mu.Lock()
+	workers := r.workers
+	r.mu.Unlock()
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(uniq) {
+		workers = len(uniq)
+	}
+	if workers > 1 {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(uniq) {
+						return
+					}
+					r.Run(uniq[i]) // memoized; errors resurface below
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	results := make([]*Result, len(cells))
+	for i, c := range cells {
+		res, err := r.Run(c)
 		if err != nil {
 			return nil, err
 		}
+		results[i] = res
 	}
 	return results, nil
 }

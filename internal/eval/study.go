@@ -10,6 +10,30 @@ import (
 	"repro/internal/expert"
 )
 
+// StudyCells returns the deduplicated union of every cell the full study
+// renders: the comparative grid (all workloads × methods at default
+// thresholds) plus every method's threshold sweep over all workloads —
+// the superset behind Figures 5–19 and the 18 retention tables. Feeding
+// it to Runner.RunGrid evaluates the entire 18-workload × 9-method ×
+// threshold-sweep study through one worker pool; the per-figure grids
+// then render from the runner's cell cache.
+func StudyCells() []Cell {
+	var cells []Cell
+	cells = append(cells, GridDefault(AllNames(), core.MethodNames)...)
+	for _, m := range core.MethodNames {
+		cells = append(cells, GridSweep(AllNames(), m)...)
+	}
+	uniq := make([]Cell, 0, len(cells))
+	seen := map[Cell]bool{}
+	for _, c := range cells {
+		if !seen[c] {
+			seen[c] = true
+			uniq = append(uniq, c)
+		}
+	}
+	return uniq
+}
+
 // Index organizes grid results for table rendering.
 type Index struct {
 	m map[Cell]*Result

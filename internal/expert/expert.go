@@ -159,6 +159,114 @@ type p2pEvent struct {
 	ev   trace.Event
 }
 
+// chanKey identifies a point-to-point channel; positional pairing happens
+// per channel.
+type chanKey struct {
+	src, dst int
+	tag      int32
+}
+
+// commStreams collects the communication events of a trace in per-rank
+// stream order, the input of the pattern scoring shared by Analyze (which
+// walks a materialized event stream) and AnalyzeReduced (which walks
+// representatives and execution records).
+type commStreams struct {
+	sends map[chanKey][]p2pEvent
+	recvs map[chanKey][]p2pEvent
+	colls [][]trace.Event
+}
+
+func newCommStreams(nRanks int) *commStreams {
+	return &commStreams{
+		sends: map[chanKey][]p2pEvent{},
+		recvs: map[chanKey][]p2pEvent{},
+		colls: make([][]trace.Event, nRanks),
+	}
+}
+
+// sendKey and recvKey name the channel an event belongs to; positional
+// pairing matches the k-th send on a channel with its k-th receive.
+func sendKey(rank int, e trace.Event) chanKey {
+	return chanKey{src: rank, dst: int(e.Peer), tag: e.Tag}
+}
+func recvKey(rank int, e trace.Event) chanKey {
+	return chanKey{src: int(e.Peer), dst: rank, tag: e.Tag}
+}
+
+// add routes one (clipped) event of the given rank into the pairing
+// streams; compute events are ignored. Events must arrive in per-rank
+// stream order — that order is the pairing basis.
+func (cs *commStreams) add(rank int, e trace.Event) {
+	switch {
+	case e.Kind == trace.KindSend || e.Kind == trace.KindSsend:
+		k := sendKey(rank, e)
+		cs.sends[k] = append(cs.sends[k], p2pEvent{rank: rank, ev: e})
+	case e.Kind == trace.KindRecv:
+		k := recvKey(rank, e)
+		cs.recvs[k] = append(cs.recvs[k], p2pEvent{rank: rank, ev: e})
+	case e.Kind.IsCollective():
+		cs.colls[rank] = append(cs.colls[rank], e)
+	}
+}
+
+// score runs the point-to-point and collective pattern analyses over the
+// collected streams, accumulating severities into d.
+func (cs *commStreams) score(d *Diagnosis) error {
+	// Point-to-point patterns: positional pairing per channel.
+	for k, ss := range cs.sends {
+		rr := cs.recvs[k]
+		if len(rr) != len(ss) {
+			return fmt.Errorf("expert: channel %d->%d tag %d has %d sends but %d recvs",
+				k.src, k.dst, k.tag, len(ss), len(rr))
+		}
+		for i := range ss {
+			s, r := ss[i], rr[i]
+			switch s.ev.Kind {
+			case trace.KindSend:
+				// Waiting cannot extend past the receive's (clipped) exit.
+				wait := minTime(s.ev.Enter, r.ev.Exit) - r.ev.Enter
+				d.add(MetricLateSender, r.ev.Name, r.rank, float64(wait))
+			case trace.KindSsend:
+				wait := minTime(r.ev.Enter, s.ev.Exit) - s.ev.Enter
+				d.add(MetricLateReceiver, s.ev.Name, s.rank, float64(wait))
+				// In a rendezvous the receiver also blocks when the sender
+				// is late — the Late Sender pattern on the receive side.
+				rwait := minTime(s.ev.Enter, r.ev.Exit) - r.ev.Enter
+				d.add(MetricLateSender, r.ev.Name, r.rank, float64(rwait))
+			}
+		}
+	}
+	for k, rr := range cs.recvs {
+		if _, ok := cs.sends[k]; !ok && len(rr) > 0 {
+			return fmt.Errorf("expert: channel %d->%d tag %d has %d recvs but no sends",
+				k.src, k.dst, k.tag, len(rr))
+		}
+	}
+
+	// Collective patterns: the k-th collective call of every rank forms
+	// one instance (collectives are globally ordered per communicator).
+	n := 0
+	for r := range cs.colls {
+		if len(cs.colls[r]) > n {
+			n = len(cs.colls[r])
+		}
+	}
+	inst := make([]trace.Event, 0, len(cs.colls))
+	for i := 0; i < n; i++ {
+		inst = inst[:0]
+		for r := range cs.colls {
+			if i >= len(cs.colls[r]) {
+				return fmt.Errorf("expert: rank %d has %d collective calls, others have more", r, len(cs.colls[r]))
+			}
+			inst = append(inst, cs.colls[r][i])
+		}
+		if err := analyzeCollective(d, inst); err != nil {
+			return fmt.Errorf("expert: collective occurrence %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
 // clipExits returns rank r's non-marker events with each event's Exit
 // clipped to the next event's Enter — the view a merged time-ordered
 // consumer has of a (possibly skewed) trace. Durations can come out
@@ -188,79 +296,15 @@ func Analyze(t *trace.Trace) (*Diagnosis, error) {
 		WallTime: float64(t.EndTime()),
 		Sev:      map[Key][]float64{},
 	}
-	type chanKey struct {
-		src, dst int
-		tag      int32
-	}
-	sends := map[chanKey][]p2pEvent{}
-	recvs := map[chanKey][]p2pEvent{}
-	colls := make([][]trace.Event, t.NumRanks())
+	cs := newCommStreams(t.NumRanks())
 	for r := range t.Ranks {
 		for _, e := range clipExits(&t.Ranks[r]) {
 			d.add(MetricExecution, e.Name, r, float64(e.Duration()))
-			switch {
-			case e.Kind == trace.KindSend || e.Kind == trace.KindSsend:
-				k := chanKey{src: r, dst: int(e.Peer), tag: e.Tag}
-				sends[k] = append(sends[k], p2pEvent{rank: r, ev: e})
-			case e.Kind == trace.KindRecv:
-				k := chanKey{src: int(e.Peer), dst: r, tag: e.Tag}
-				recvs[k] = append(recvs[k], p2pEvent{rank: r, ev: e})
-			case e.Kind.IsCollective():
-				colls[r] = append(colls[r], e)
-			}
+			cs.add(r, e)
 		}
 	}
-
-	// Point-to-point patterns: positional pairing per channel.
-	for k, ss := range sends {
-		rr := recvs[k]
-		if len(rr) != len(ss) {
-			return nil, fmt.Errorf("expert: channel %d->%d tag %d has %d sends but %d recvs",
-				k.src, k.dst, k.tag, len(ss), len(rr))
-		}
-		for i := range ss {
-			s, r := ss[i], rr[i]
-			switch s.ev.Kind {
-			case trace.KindSend:
-				// Waiting cannot extend past the receive's (clipped) exit.
-				wait := minTime(s.ev.Enter, r.ev.Exit) - r.ev.Enter
-				d.add(MetricLateSender, r.ev.Name, r.rank, float64(wait))
-			case trace.KindSsend:
-				wait := minTime(r.ev.Enter, s.ev.Exit) - s.ev.Enter
-				d.add(MetricLateReceiver, s.ev.Name, s.rank, float64(wait))
-				// In a rendezvous the receiver also blocks when the sender
-				// is late — the Late Sender pattern on the receive side.
-				rwait := minTime(s.ev.Enter, r.ev.Exit) - r.ev.Enter
-				d.add(MetricLateSender, r.ev.Name, r.rank, float64(rwait))
-			}
-		}
-	}
-	for k, rr := range recvs {
-		if _, ok := sends[k]; !ok && len(rr) > 0 {
-			return nil, fmt.Errorf("expert: channel %d->%d tag %d has %d recvs but no sends",
-				k.src, k.dst, k.tag, len(rr))
-		}
-	}
-
-	// Collective patterns: the k-th collective call of every rank forms
-	// one instance (collectives are globally ordered per communicator).
-	n := 0
-	for r := range colls {
-		if len(colls[r]) > n {
-			n = len(colls[r])
-		}
-	}
-	for i := 0; i < n; i++ {
-		var inst []trace.Event
-		for r := range colls {
-			if i >= len(colls[r]) {
-				return nil, fmt.Errorf("expert: rank %d has %d collective calls, others have more", r, len(colls[r]))
-			}
-			inst = append(inst, colls[r][i])
-		}
-		if err := analyzeCollective(d, inst); err != nil {
-			return nil, fmt.Errorf("expert: collective occurrence %d: %w", i, err)
-		}
+	if err := cs.score(d); err != nil {
+		return nil, err
 	}
 	return d, nil
 }

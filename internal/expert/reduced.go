@@ -1,0 +1,224 @@
+// Direct-from-reduced analysis: the EXPERT diagnosis computed straight
+// from a reduced trace's representatives and 12-byte execution records,
+// without materializing the reconstructed event stream.
+//
+// The key observation: reconstruction replays a representative's events
+// shifted to each execution's start time, so every execution of the same
+// representative contributes the *same* per-segment severities, just
+// displaced in time. Severities are built from durations and waits —
+// differences of timestamps — so the time shift cancels everywhere a
+// computation stays within one segment. AnalyzeReduced therefore profiles
+// each representative once (per-location clipped durations, its
+// communication events, its extremes) and then:
+//
+//   - scales the per-location execution times by the representative's
+//     execution count instead of re-walking its events per execution;
+//   - fixes up the one place where executions interact — the merged-stream
+//     exit clipping of each execution's final event against the next
+//     execution's first event — in O(execution records);
+//   - places only the communication events (typically a small fraction of
+//     a trace) at absolute time for the cross-rank pattern pairing, which
+//     is shared verbatim with Analyze.
+//
+// The result is exactly equal to Analyze(Reconstruct()) — all severities
+// are sums of integer microsecond differences, exact in float64 — at a
+// cost proportional to representatives + execution records +
+// communication events instead of the full event count. parity_test.go
+// enforces the equality for every workload × method.
+
+package expert
+
+import (
+	"fmt"
+	"slices"
+
+	"repro/internal/core"
+	"repro/internal/segment"
+	"repro/internal/trace"
+)
+
+// commEvent is one communication event of a representative, with the
+// within-segment clip already applied to its exit.
+type commEvent struct {
+	ev trace.Event
+	// last marks the representative's final event, whose effective exit
+	// depends on the following execution and is re-clipped per execution.
+	last bool
+}
+
+// repProfile caches everything AnalyzeReduced needs about one stored
+// representative, so per-execution work is O(1) + O(its comm events).
+type repProfile struct {
+	// nEvents is the representative's event count.
+	nEvents int
+	// dur sums each location's clipped durations over all events except
+	// the final one (whose clip is per-execution). Locations whose events
+	// sum to zero keep their entry: Analyze creates a diagnosis cell for
+	// every event, and so must the scaled path.
+	dur map[string]int64
+	// comm lists the representative's communication events in stream
+	// order, times relative to the segment start.
+	comm []commEvent
+	// firstEnter is the first event's relative enter — the value the
+	// previous execution's final exit is clipped against.
+	firstEnter trace.Time
+	// lastName/lastEnter/lastExit describe the final event.
+	lastName            string
+	lastEnter, lastExit trace.Time
+	// lastIsComm marks a final event that is also a communication event.
+	lastIsComm bool
+	// maxExit is the latest relative stamp reconstruction would emit for
+	// one execution: max(segment end marker, every event exit).
+	maxExit trace.Time
+}
+
+// profileRep builds the per-representative profile. Within-segment exit
+// clipping (event i's exit against event i+1's enter) is shift-invariant,
+// so it is resolved here once; only the final event's clip crosses into
+// the next execution.
+func profileRep(s *segment.Segment) *repProfile {
+	p := &repProfile{
+		nEvents: len(s.Events),
+		dur:     make(map[string]int64, 4),
+		maxExit: s.End,
+	}
+	for i, e := range s.Events {
+		if e.Exit > p.maxExit {
+			p.maxExit = e.Exit
+		}
+		clipped := e
+		if i+1 < len(s.Events) {
+			if next := s.Events[i+1].Enter; clipped.Exit > next {
+				clipped.Exit = next
+			}
+			p.dur[e.Name] += clipped.Exit - clipped.Enter
+		} else {
+			p.lastName, p.lastEnter, p.lastExit = e.Name, e.Enter, e.Exit
+			p.lastIsComm = e.Kind.IsPointToPoint() || e.Kind.IsCollective()
+		}
+		if e.Kind.IsPointToPoint() || e.Kind.IsCollective() {
+			p.comm = append(p.comm, commEvent{ev: clipped, last: i+1 == len(s.Events)})
+		}
+	}
+	if p.nEvents > 0 {
+		p.firstEnter = s.Events[0].Enter
+	}
+	return p
+}
+
+// AnalyzeReduced runs the pattern analysis directly over a reduced trace,
+// producing the same Diagnosis Analyze would produce for
+// r.Reconstruct() without building the reconstruction. See the package
+// comment above for the algorithm; Analyze remains the reference path.
+func AnalyzeReduced(r *core.Reduced) (*Diagnosis, error) {
+	d := &Diagnosis{
+		Name:     r.Name,
+		NumRanks: len(r.Ranks),
+		Sev:      map[Key][]float64{},
+	}
+	cs := newCommStreams(len(r.Ranks))
+	var wall trace.Time
+	for rank := range r.Ranks {
+		rr := &r.Ranks[rank]
+
+		// Count executions per representative and profile each
+		// representative that actually executes.
+		counts := make([]int64, len(rr.Stored))
+		for _, ex := range rr.Execs {
+			if ex.ID < 0 || ex.ID >= len(rr.Stored) {
+				return nil, fmt.Errorf("expert: rank %d exec references segment %d of %d",
+					rank, ex.ID, len(rr.Stored))
+			}
+			counts[ex.ID]++
+		}
+		profiles := make([]*repProfile, len(rr.Stored))
+		for id := range rr.Stored {
+			if counts[id] > 0 {
+				profiles[id] = profileRep(rr.Stored[id])
+			}
+		}
+
+		// Scaled body contribution: every execution of a representative
+		// adds the same within-segment clipped durations. The same pass
+		// presizes the rank's pairing streams — exact counts fall out of
+		// profile × execution-count, so the placement loop below never
+		// regrows a slice.
+		totals := map[string]int64{}
+		collN := 0
+		for id, p := range profiles {
+			if p == nil {
+				continue
+			}
+			for loc, sum := range p.dur {
+				totals[loc] += sum * counts[id]
+			}
+			n := int(counts[id])
+			for _, ce := range p.comm {
+				switch {
+				case ce.ev.Kind == trace.KindSend || ce.ev.Kind == trace.KindSsend:
+					k := sendKey(rank, ce.ev)
+					cs.sends[k] = slices.Grow(cs.sends[k], n)
+				case ce.ev.Kind == trace.KindRecv:
+					k := recvKey(rank, ce.ev)
+					cs.recvs[k] = slices.Grow(cs.recvs[k], n)
+				case ce.ev.Kind.IsCollective():
+					collN += n
+				}
+			}
+		}
+		if collN > 0 {
+			cs.colls[rank] = make([]trace.Event, 0, collN)
+		}
+
+		// nextEnter[k] is the absolute enter of the first event after
+		// execution k in the merged (marker-free) stream — the clip bound
+		// for execution k's final event. Computed by a backward sweep that
+		// skips executions of empty representatives.
+		nextEnter := make([]trace.Time, len(rr.Execs))
+		hasNext := make([]bool, len(rr.Execs))
+		var curEnter trace.Time
+		var curHas bool
+		for k := len(rr.Execs) - 1; k >= 0; k-- {
+			nextEnter[k], hasNext[k] = curEnter, curHas
+			if p := profiles[rr.Execs[k].ID]; p.nEvents > 0 {
+				curEnter, curHas = rr.Execs[k].Start+p.firstEnter, true
+			}
+		}
+
+		// Per-execution pass: O(1) boundary fixup plus communication
+		// placement. Compute events are never touched here.
+		for k, ex := range rr.Execs {
+			p := profiles[ex.ID]
+			if w := ex.Start + p.maxExit; w > wall {
+				wall = w
+			}
+			if p.nEvents == 0 {
+				continue
+			}
+			lastExit := ex.Start + p.lastExit
+			if hasNext[k] && lastExit > nextEnter[k] {
+				lastExit = nextEnter[k]
+			}
+			totals[p.lastName] += lastExit - (ex.Start + p.lastEnter)
+			for _, ce := range p.comm {
+				abs := ce.ev
+				abs.Enter += ex.Start
+				if ce.last {
+					abs.Exit = lastExit
+				} else {
+					abs.Exit += ex.Start
+				}
+				cs.add(rank, abs)
+			}
+		}
+
+		for loc, total := range totals {
+			d.add(MetricExecution, loc, rank, float64(total))
+		}
+	}
+	d.WallTime = float64(wall)
+	if err := cs.score(d); err != nil {
+		return nil, err
+	}
+	return d, nil
+}

@@ -1,0 +1,130 @@
+package expert
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/segment"
+	"repro/internal/trace"
+)
+
+// seg builds a stored representative with the given relative events.
+func seg(ctx string, end trace.Time, events ...trace.Event) *segment.Segment {
+	return &segment.Segment{Context: ctx, End: end, Weight: 1, Events: events}
+}
+
+func compute(name string, enter, exit trace.Time) trace.Event {
+	return trace.Event{Name: name, Kind: trace.KindCompute, Enter: enter, Exit: exit,
+		Peer: trace.NoPeer, Root: trace.NoPeer}
+}
+
+// analyzeBoth runs the direct and reconstruct-based analyzers and fails
+// on any error.
+func analyzeBoth(t *testing.T, red *core.Reduced) (direct, ref *Diagnosis) {
+	t.Helper()
+	direct, err := AnalyzeReduced(red)
+	if err != nil {
+		t.Fatalf("AnalyzeReduced: %v", err)
+	}
+	recon, err := red.Reconstruct()
+	if err != nil {
+		t.Fatalf("Reconstruct: %v", err)
+	}
+	ref, err = Analyze(recon)
+	if err != nil {
+		t.Fatalf("Analyze(Reconstruct()): %v", err)
+	}
+	return direct, ref
+}
+
+// requireEqual asserts exact diagnosis equality.
+func requireEqual(t *testing.T, direct, ref *Diagnosis) {
+	t.Helper()
+	if direct.Name != ref.Name || direct.NumRanks != ref.NumRanks || direct.WallTime != ref.WallTime {
+		t.Fatalf("metadata differs: direct {%q %d %g} vs reference {%q %d %g}",
+			direct.Name, direct.NumRanks, direct.WallTime, ref.Name, ref.NumRanks, ref.WallTime)
+	}
+	if len(direct.Sev) != len(ref.Sev) {
+		t.Fatalf("cell sets differ: direct %v vs reference %v", direct.Keys(), ref.Keys())
+	}
+	for k, rv := range ref.Sev {
+		dv, ok := direct.Sev[k]
+		if !ok {
+			t.Fatalf("direct diagnosis is missing cell %v", k)
+		}
+		for i := range rv {
+			if dv[i] != rv[i] {
+				t.Fatalf("cell %v rank %d: direct %g vs reference %g", k, i, dv[i], rv[i])
+			}
+		}
+	}
+}
+
+// TestAnalyzeReducedBoundaryClipping plants a representative whose final
+// event overruns the next execution's start, so the merged-stream clip
+// crosses the execution boundary — the one place per-execution state
+// matters in the scaled analysis.
+func TestAnalyzeReducedBoundaryClipping(t *testing.T) {
+	// Representative: work spans 0..80 but executions start every 50, so
+	// each execution's final (and only) event is clipped by its successor.
+	rep := seg("main.1", 80, compute("do_work", 0, 80))
+	red := &core.Reduced{
+		Name: "boundary", Method: "test",
+		Ranks: []core.RankReduced{{
+			Rank:   0,
+			Stored: []*segment.Segment{rep},
+			Execs:  []core.Exec{{ID: 0, Start: 0}, {ID: 0, Start: 50}, {ID: 0, Start: 100}},
+		}},
+		TotalSegments: 3,
+	}
+	direct, ref := analyzeBoth(t, red)
+	requireEqual(t, direct, ref)
+	// Two clipped executions (50 each) plus one final unclipped (80).
+	got := direct.Total(Key{Metric: MetricExecution, Location: "do_work"})
+	if got != 180 {
+		t.Fatalf("do_work total = %g, want 180 (two boundary-clipped executions + one full)", got)
+	}
+}
+
+// TestAnalyzeReducedEmptyAndUnexecuted covers segments with no events
+// (markers only), representatives that are never executed (possible in a
+// decoded file), and the wall-time contribution of end markers.
+func TestAnalyzeReducedEmptyAndUnexecuted(t *testing.T) {
+	red := &core.Reduced{
+		Name: "sparse", Method: "test",
+		Ranks: []core.RankReduced{{
+			Rank: 0,
+			Stored: []*segment.Segment{
+				seg("init", 10), // executed, but empty
+				seg("main.1", 30, compute("do_work", 5, 25)), // executed twice
+				seg("orphan", 99, compute("never", 0, 9)),    // never executed
+			},
+			Execs: []core.Exec{{ID: 0, Start: 0}, {ID: 1, Start: 10}, {ID: 1, Start: 40}},
+		}},
+		TotalSegments: 3,
+	}
+	direct, ref := analyzeBoth(t, red)
+	requireEqual(t, direct, ref)
+	if _, ok := direct.Sev[Key{Metric: MetricExecution, Location: "never"}]; ok {
+		t.Fatal("unexecuted representative leaked into the diagnosis")
+	}
+	// Last execution ends at 40+30=70 (end marker), the trace wall time.
+	if direct.WallTime != 70 {
+		t.Fatalf("WallTime = %g, want 70", direct.WallTime)
+	}
+}
+
+// TestAnalyzeReducedBadExec mirrors Reconstruct's id validation.
+func TestAnalyzeReducedBadExec(t *testing.T) {
+	red := &core.Reduced{
+		Name: "bad", Method: "test",
+		Ranks: []core.RankReduced{{
+			Rank:   0,
+			Stored: []*segment.Segment{seg("main.1", 10)},
+			Execs:  []core.Exec{{ID: 3, Start: 0}},
+		}},
+	}
+	if _, err := AnalyzeReduced(red); err == nil {
+		t.Fatal("AnalyzeReduced accepted an out-of-range execution id")
+	}
+}

@@ -7,7 +7,8 @@ import (
 	"io"
 )
 
-// Binary trace file format.
+// Binary trace file format (TRC1). The byte-level specification lives in
+// docs/FORMATS.md; this comment is the summary.
 //
 // All integers are little-endian. Layout:
 //

@@ -1,8 +1,10 @@
-// Parity tests: the parallel streaming reduction engine must produce
-// results byte-identical to the retained sequential reference path for
-// every workload × method at the paper's default thresholds. The encoded
-// reduced form covers the stored segments and execution logs; the
-// counters are compared directly.
+// Parity tests. The parallel streaming reduction engine must produce
+// results byte-identical to the retained sequential reference path, and
+// the direct-from-reduced evaluation engine results exactly equal to the
+// retained reconstruct-based reference, for every workload × method at
+// the paper's default thresholds. The encoded reduced form covers the
+// stored segments and execution logs; counters, criteria, and diagnoses
+// are compared directly.
 package repro
 
 import (
@@ -12,6 +14,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/eval"
+	"repro/internal/expert"
 	"repro/internal/trace"
 )
 
@@ -83,6 +86,93 @@ func TestParallelSequentialParity(t *testing.T) {
 			}
 		})
 	}
+}
+
+// diagEqual reports whether two diagnoses are exactly equal — same
+// metadata, same cell set, same per-rank severities bit for bit. All
+// severities are sums of integer microsecond differences, exact in
+// float64, so the direct and reconstruct-based analyzers must agree
+// exactly, not just approximately.
+func diagEqual(a, b *expert.Diagnosis) bool {
+	if a.Name != b.Name || a.NumRanks != b.NumRanks || a.WallTime != b.WallTime || len(a.Sev) != len(b.Sev) {
+		return false
+	}
+	for k, av := range a.Sev {
+		bv, ok := b.Sev[k]
+		if !ok || len(av) != len(bv) {
+			return false
+		}
+		for i := range av {
+			if av[i] != bv[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestScoreReducedParity holds the direct-from-reduced evaluation engine
+// (expert.AnalyzeReduced + core.ApproximationDistanceReduced, via
+// eval.EvaluateReduced) to exactly the Result the retained
+// reconstruct-based reference produces, for every workload × method at
+// default thresholds.
+func TestScoreReducedParity(t *testing.T) {
+	for _, workload := range eval.AllNames() {
+		workload := workload
+		t.Run(workload, func(t *testing.T) {
+			full := parityTrace(t, workload)
+			fullDiag, err := expert.Analyze(full)
+			if err != nil {
+				t.Fatalf("analyzing full trace: %v", err)
+			}
+			for _, method := range core.MethodNames {
+				p, err := core.DefaultMethod(method)
+				if err != nil {
+					t.Fatal(err)
+				}
+				red, err := core.Reduce(full, p)
+				if err != nil {
+					t.Fatalf("%s: Reduce: %v", method, err)
+				}
+				direct, err := eval.EvaluateReduced(full, fullDiag, red)
+				if err != nil {
+					t.Fatalf("%s: EvaluateReduced: %v", method, err)
+				}
+				ref, err := eval.EvaluateReducedReconstruct(full, fullDiag, red)
+				if err != nil {
+					t.Fatalf("%s: EvaluateReducedReconstruct: %v", method, err)
+				}
+				if direct.PctSize != ref.PctSize || direct.Degree != ref.Degree ||
+					direct.FullBytes != ref.FullBytes || direct.ReducedBytes != ref.ReducedBytes ||
+					direct.StoredSegments != ref.StoredSegments || direct.TotalSegments != ref.TotalSegments {
+					t.Errorf("%s: size/matching criteria differ: direct %+v vs reference %+v", method, direct, ref)
+				}
+				if direct.ApproxDist != ref.ApproxDist {
+					t.Errorf("%s: approximation distance differs: direct %d vs reference %d",
+						method, direct.ApproxDist, ref.ApproxDist)
+				}
+				if direct.Retained != ref.Retained || !equalStrings(direct.Issues, ref.Issues) {
+					t.Errorf("%s: retention verdict differs: direct (%v, %v) vs reference (%v, %v)",
+						method, direct.Retained, direct.Issues, ref.Retained, ref.Issues)
+				}
+				if !diagEqual(direct.Diag, ref.Diag) {
+					t.Errorf("%s: diagnoses differ between AnalyzeReduced and Analyze(Reconstruct())", method)
+				}
+			}
+		})
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // TestStreamingDecodeReduceParity round-trips each workload through the

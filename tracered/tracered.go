@@ -132,6 +132,20 @@ func ApproximationDistance(full, approx *Trace, quantile float64) (Time, error) 
 // Analyze produces the EXPERT-style diagnosis of a trace.
 func Analyze(t *Trace) (*Diagnosis, error) { return expert.Analyze(t) }
 
+// AnalyzeReduced produces the EXPERT-style diagnosis directly from a
+// reduced trace — equal to Analyze(red.Reconstruct()) but computed from
+// the stored representatives and 12-byte execution records, at a cost
+// proportional to representatives + execution records + communication
+// events instead of the full event count.
+func AnalyzeReduced(red *Reduced) (*Diagnosis, error) { return expert.AnalyzeReduced(red) }
+
+// ApproximationDistanceReduced reports the approximation distance of a
+// reduction without reconstructing it — equal to
+// ApproximationDistance(full, red.Reconstruct(), quantile).
+func ApproximationDistanceReduced(full *Trace, red *Reduced, quantile float64) (Time, error) {
+	return core.ApproximationDistanceReduced(full, red, quantile)
+}
+
 // CompareDiagnoses judges whether the reconstructed trace's diagnosis
 // retains the full trace's performance trends under the study's
 // guidelines.
@@ -145,7 +159,8 @@ func CompareDiagnoses(full, approx *Diagnosis) Verdict {
 func Chart(d *Diagnosis, minFrac float64) string { return cube.Chart(d, minFrac) }
 
 // Score scores an already-computed reduction against its full trace,
-// returning all four study criteria.
+// returning all four study criteria. The reduction is scored directly
+// from its reduced form — the approximate trace is never reconstructed.
 func Score(full *Trace, red *Reduced) (*EvalResult, error) {
 	fullDiag, err := expert.Analyze(full)
 	if err != nil {
@@ -154,8 +169,16 @@ func Score(full *Trace, red *Reduced) (*EvalResult, error) {
 	return eval.EvaluateReduced(full, fullDiag, red)
 }
 
-// Evaluate runs the full pipeline — reduce, measure, reconstruct,
-// re-diagnose, compare — for a method name and threshold.
+// ScoreReduced is Score with the full trace's diagnosis supplied by the
+// caller, so scoring many reductions of the same workload analyzes the
+// full trace once.
+func ScoreReduced(full *Trace, fullDiag *Diagnosis, red *Reduced) (*EvalResult, error) {
+	return eval.EvaluateReduced(full, fullDiag, red)
+}
+
+// Evaluate runs the full pipeline — reduce, measure, re-diagnose
+// directly from the reduced form, compare — for a method name and
+// threshold.
 func Evaluate(full *Trace, method string, threshold float64) (*EvalResult, error) {
 	fullDiag, err := expert.Analyze(full)
 	if err != nil {
