@@ -208,7 +208,8 @@ func thresholdLabel(method string, t float64) string {
 	}
 }
 
-// Figures 9-16: threshold sweeps over the 16 benchmark traces.
+// Figures 9-16: threshold sweeps over the 18 benchmark traces (the
+// paper's 16 plus the two scenario extensions).
 
 func BenchmarkFig09_RelDiffSweep(b *testing.B)   { benchSweep(b, "relDiff", eval.BenchmarkNames()) }
 func BenchmarkFig10_AbsDiffSweep(b *testing.B)   { benchSweep(b, "absDiff", eval.BenchmarkNames()) }
@@ -275,6 +276,11 @@ func BenchmarkTable15_1to1r_1024(b *testing.B)    { benchTable(b, "1to1r_1024") 
 func BenchmarkTable16_1to1s_1024(b *testing.B)    { benchTable(b, "1to1s_1024") }
 func BenchmarkTable17_Sweep3d8p(b *testing.B)     { benchTable(b, "sweep3d_8p") }
 func BenchmarkTable18_Sweep3d32p(b *testing.B)    { benchTable(b, "sweep3d_32p") }
+
+// Tables 19-20: the scenario-diversity extensions.
+
+func BenchmarkTable19_HaloJitter(b *testing.B) { benchTable(b, "halo_jitter") }
+func BenchmarkTable20_BurstyIO(b *testing.B)   { benchTable(b, "bursty_io") }
 
 // BenchmarkAblationMinkowskiOrder sweeps the Minkowski order beyond the
 // paper's {1, 2, ∞} on one irregular workload — the design-choice

@@ -70,6 +70,29 @@ func benchReduce(b *testing.B, reduce func(*trace.Trace, core.Policy) (*core.Red
 // RankReducer per rank on a GOMAXPROCS-bounded worker pool.
 func BenchmarkReduceParallel(b *testing.B) { benchReduce(b, core.Reduce) }
 
+// BenchmarkReduceMethods times the production engine once per similarity
+// method on a large interference workload, the grid behind the matcher's
+// no-regression guarantee: prepared-state and pruning wins on one method
+// must not slow any other down.
+func BenchmarkReduceMethods(b *testing.B) {
+	full := reduceBenchTrace(b, "1to1r_1024")
+	for _, method := range core.MethodNames {
+		b.Run(method, func(b *testing.B) {
+			p, err := core.DefaultMethod(method)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Reduce(full, p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkReduceSequentialRef exercises the retained single-threaded
 // reference path the parity tests compare against; the gap between the
 // two benchmarks is the pool's speedup (or, at -cpu 1, its overhead).

@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/eval"
+	"repro/internal/profiling"
 )
 
 // figureMethod maps threshold-sweep figure numbers to methods (paper
@@ -43,27 +44,44 @@ var sweepFigureMethods = map[int][]string{
 	19: {"avgWave", "haarWave"},
 }
 
-// tableWorkloads lists the appendix tables 1-18 in the paper's order.
+// tableWorkloads lists the appendix tables in the paper's order —
+// tables 1-18 — extended with tables 19-20 for the scenario-diversity
+// workloads.
 var tableWorkloads = []string{
 	"dyn_load_balance", "early_gather", "imbalance_at_mpi_barrier",
 	"late_broadcast", "late_receiver", "late_sender",
 	"Nto1_32", "NtoN_32", "1toN_32", "1to1r_32", "1to1s_32",
 	"Nto1_1024", "NtoN_1024", "1toN_1024", "1to1r_1024", "1to1s_1024",
 	"sweep3d_8p", "sweep3d_32p",
+	"halo_jitter", "bursty_io",
 }
 
 func main() {
 	fig := flag.Int("fig", 0, "regenerate one figure (5-19)")
-	table := flag.Int("table", 0, "regenerate one appendix table (1-18)")
+	table := flag.Int("table", 0, "regenerate one appendix table (1-20)")
 	summary := flag.Bool("summary", false, "comparative study and method ranking")
 	all := flag.Bool("all", false, "regenerate every figure and table")
 	workers := flag.Int("workers", 0, "evaluation pool size (0 = all cores)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the study to `file`")
+	memprofile := flag.String("memprofile", "", "write a heap profile taken after the study to `file`")
 	flag.Parse()
 
+	stopProf, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "evalstudy:", err)
+		os.Exit(1)
+	}
 	r := eval.NewRunner()
 	r.SetWorkers(*workers)
-	if err := run(r, *fig, *table, *summary, *all); err != nil {
+	runErr := run(r, *fig, *table, *summary, *all)
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "evalstudy:", runErr)
+	}
+	if err := stopProf(); err != nil {
 		fmt.Fprintln(os.Stderr, "evalstudy:", err)
+		os.Exit(1)
+	}
+	if runErr != nil {
 		os.Exit(1)
 	}
 }

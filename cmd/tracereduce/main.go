@@ -6,12 +6,15 @@
 //
 //	tracereduce -in late_sender.trc -method avgWave -threshold 0.2 -out late_sender.trr
 //	tracereduce -in late_sender.trc -method iter_k -threshold 10 -verify
+//	tracereduce -in sweep.trc -method haarWave -cpuprofile reduce.prof
 //
 // The trace is decoded, segmented, and reduced rank by rank on a worker
 // pool, so only a pool's worth of ranks is ever held in memory alongside
 // the reduction. With -verify the tool re-reads the full trace,
 // reconstructs, and reports the approximation distance and trend
-// retention, the remaining two criteria.
+// retention, the remaining two criteria. -cpuprofile/-memprofile write
+// standard pprof profiles of the run, the measurement hooks for matcher
+// and engine work.
 package main
 
 import (
@@ -19,6 +22,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/profiling"
 	"repro/tracered"
 )
 
@@ -28,6 +32,8 @@ func main() {
 	method := flag.String("method", "avgWave", "similarity method")
 	threshold := flag.Float64("threshold", -1, "match threshold (default: the paper's per-method default)")
 	verify := flag.Bool("verify", false, "also reconstruct and score error/trend retention")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the reduction to `file`")
+	memprofile := flag.String("memprofile", "", "write a heap profile taken after the reduction to `file`")
 	flag.Parse()
 
 	if *in == "" {
@@ -42,76 +48,84 @@ func main() {
 		}
 		*threshold = t
 	}
-	m, err := tracered.NewMethod(*method, *threshold)
+	stopProf, err := profiling.Start(*cpuprofile, *memprofile)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tracereduce:", err)
 		os.Exit(1)
 	}
-	f, err := os.Open(*in)
-	if err != nil {
+	runErr := run(*in, *out, *method, *threshold, *verify)
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "tracereduce:", runErr)
+	}
+	if err := stopProf(); err != nil {
 		fmt.Fprintln(os.Stderr, "tracereduce:", err)
 		os.Exit(1)
+	}
+	if runErr != nil {
+		os.Exit(1)
+	}
+}
+
+func run(in, out, method string, threshold float64, verify bool) error {
+	m, err := tracered.NewMethod(method, threshold)
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(in)
+	if err != nil {
+		return err
 	}
 	dec, err := tracered.NewTraceDecoder(f)
 	if err != nil {
 		f.Close()
-		fmt.Fprintln(os.Stderr, "tracereduce: reading trace:", err)
-		os.Exit(1)
+		return fmt.Errorf("reading trace: %w", err)
 	}
 	red, err := tracered.ReduceStream(dec, m)
 	f.Close()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "tracereduce:", err)
-		os.Exit(1)
+		return err
 	}
 	// The input file is the encoded full trace, so its size on disk is the
 	// full-trace byte count the paper's size criterion divides by.
-	st, err := os.Stat(*in)
+	st, err := os.Stat(in)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "tracereduce:", err)
-		os.Exit(1)
+		return err
 	}
 	fullBytes := st.Size()
 	redBytes := tracered.ReducedSize(red)
 	fmt.Printf("%s + %s(t=%g): %d -> %d bytes (%.2f%%), degree of matching %.3f, %d stored segments\n",
-		red.Name, *method, *threshold, fullBytes, redBytes,
+		red.Name, method, threshold, fullBytes, redBytes,
 		100*float64(redBytes)/float64(fullBytes), red.DegreeOfMatching(), red.StoredSegments())
 
-	if *out != "" {
-		g, err := os.Create(*out)
+	if out != "" {
+		g, err := os.Create(out)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "tracereduce:", err)
-			os.Exit(1)
+			return err
 		}
 		if err := tracered.WriteReduced(g, red); err != nil {
 			g.Close()
-			fmt.Fprintln(os.Stderr, "tracereduce: writing:", err)
-			os.Exit(1)
+			return fmt.Errorf("writing: %w", err)
 		}
 		if err := g.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, "tracereduce: closing:", err)
-			os.Exit(1)
+			return fmt.Errorf("closing: %w", err)
 		}
-		fmt.Println("wrote", *out)
+		fmt.Println("wrote", out)
 	}
-	if *verify {
+	if verify {
 		// Scoring needs the full trace for the approximation-distance and
 		// trend-retention criteria; re-read it only now that it is needed.
-		h, err := os.Open(*in)
+		h, err := os.Open(in)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "tracereduce:", err)
-			os.Exit(1)
+			return err
 		}
 		full, err := tracered.ReadTrace(h)
 		h.Close()
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "tracereduce: reading trace:", err)
-			os.Exit(1)
+			return fmt.Errorf("reading trace: %w", err)
 		}
 		res, err := tracered.Score(full, red)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "tracereduce: scoring:", err)
-			os.Exit(1)
+			return fmt.Errorf("scoring: %w", err)
 		}
 		fmt.Printf("approximation distance (90th pct): %d time units\n", res.ApproxDist)
 		if res.Retained {
@@ -123,4 +137,5 @@ func main() {
 			}
 		}
 	}
+	return nil
 }

@@ -349,6 +349,73 @@ func InterferenceSet(p Params) []*Benchmark {
 	return out
 }
 
+// HaloJitter builds the jittered halo-exchange benchmark: the ranks form
+// a ring and every iteration exchange boundary data with both neighbours
+// (eager send + blocking receive, the usual stencil idiom) after a
+// compute phase carrying 4× the usual measurement jitter. No fixed
+// pathology is planted; instead the amplified, per-rank-decorrelated
+// jitter makes every rank's receives wait on whichever neighbour drew
+// the slower phase, spreading small late_sender waits across all ranks
+// and giving every segment's measurement vector a different shape — the
+// scenario that stresses similarity thresholds (and the matcher's
+// pruning) hardest.
+func HaloJitter(p Params) *Benchmark {
+	prog := mpisim.NewProgram("halo_jitter", p.Ranks)
+	prog.ForAll(func(rank int, r *mpisim.RankProgram) {
+		w := newWorker("halo_jitter", rank, r, p)
+		right := (rank + 1) % p.Ranks
+		left := (rank + p.Ranks - 1) % p.Ranks
+		w.prologue()
+		for i := 0; i < p.Iterations; i++ {
+			r.InSegment("main.1", func() {
+				w.iterInit()
+				r.Compute("do_work", w.j.stretch(p.Work, 4*w.pct))
+				r.Sendrecv(right, left, 11, p.Bytes)
+				r.Sendrecv(left, right, 12, p.Bytes)
+			})
+		}
+		w.epilogue()
+	})
+	return &Benchmark{Name: "halo_jitter", Pattern: "1-1", Program: prog,
+		Config: mpisim.DefaultConfig(), ExpectMetric: "late_sender", ExpectLocation: "MPI_Recv"}
+}
+
+// BurstyIO builds the bursty-I/O benchmark: every iteration each rank
+// computes ~Work and synchronizes at a barrier, and every Ranks-th
+// iteration — staggered so exactly one rank bursts per iteration — a
+// rank flushes its I/O buffers, a 3×Severity compute burst. Everyone
+// else waits for the flushing rank, planting imbalance at MPI_Barrier
+// that rotates through the ranks; the burst iterations also split each
+// rank's segment stream into two behaviour modes, the bimodality that
+// distinguishes threshold choices in the reduction study.
+func BurstyIO(p Params) *Benchmark {
+	burst := 3 * p.Severity
+	prog := mpisim.NewProgram("bursty_io", p.Ranks)
+	prog.ForAll(func(rank int, r *mpisim.RankProgram) {
+		w := newWorker("bursty_io", rank, r, p)
+		w.prologue()
+		for i := 0; i < p.Iterations; i++ {
+			r.InSegment("main.1", func() {
+				w.iterInit()
+				w.compute("do_work", p.Work)
+				if (i+rank)%p.Ranks == 0 {
+					w.compute("io_flush", burst)
+				}
+				r.Barrier()
+			})
+		}
+		w.epilogue()
+	})
+	return &Benchmark{Name: "bursty_io", Pattern: "N-N", Program: prog,
+		Config: mpisim.DefaultConfig(), ExpectMetric: "wait_barrier", ExpectLocation: "MPI_Barrier"}
+}
+
+// ScenarioSet returns the two scenario-diversity benchmarks that extend
+// the paper's original 18-workload grid.
+func ScenarioSet(p Params) []*Benchmark {
+	return []*Benchmark{HaloJitter(p), BurstyIO(p)}
+}
+
 // DynLoadBalance builds the dynamic-load-balancing benchmark: work starts
 // balanced at ~Work per iteration; every iteration the upper half of the
 // ranks does Step more and the lower half Step less, until the drift

@@ -183,6 +183,71 @@ func TestDynLoadBalance(t *testing.T) {
 	}
 }
 
+func TestHaloJitter(t *testing.T) {
+	p := smallParams()
+	b := HaloJitter(p)
+	d := runBench(t, b)
+	// The amplified jitter makes receives wait on whichever neighbour
+	// drew the slower phase. late_sender waits are signed (an early
+	// sender contributes negative wait), so assert shape, not sign:
+	// every rank sees nonzero wait and the magnitudes stay within the
+	// jitter envelope — a fraction of Work per iteration, far below a
+	// planted Severity-scale problem.
+	v := d.Sev[expert.Key{Metric: b.ExpectMetric, Location: b.ExpectLocation}]
+	if len(v) == 0 {
+		t.Fatal("no late_sender severities recorded")
+	}
+	var totalAbs float64
+	for rank, sev := range v {
+		if sev == 0 {
+			t.Errorf("rank %d has no late_sender wait (jitter should spread waits everywhere): %v", rank, v)
+		}
+		totalAbs += math.Abs(sev)
+	}
+	envelope := float64(p.Iterations) * float64(p.Work) * float64(p.Ranks)
+	if totalAbs <= 0 || totalAbs >= envelope {
+		t.Errorf("late_sender |total| %v outside the jitter envelope (0, %v)", totalAbs, envelope)
+	}
+}
+
+func TestBurstyIO(t *testing.T) {
+	p := smallParams()
+	b := BurstyIO(p)
+	d := runBench(t, b)
+	// Each iteration exactly one rank flushes for 3×Severity while the
+	// other Ranks−1 wait at the barrier.
+	burst := 3 * p.Severity
+	v := d.Sev[expert.Key{Metric: b.ExpectMetric, Location: b.ExpectLocation}]
+	var total float64
+	for _, sev := range v {
+		total += sev
+	}
+	want := float64(p.Iterations) * float64(burst) * float64(p.Ranks-1)
+	if total < 0.5*want || total > 2.0*want {
+		t.Errorf("wait_barrier total = %.0f, want ~%.0f", total, want)
+	}
+	// The flush itself must be visible as io_flush execution time.
+	w := d.Sev[expert.Key{Metric: "execution", Location: "io_flush"}]
+	if len(w) == 0 {
+		t.Fatal("no io_flush execution recorded")
+	}
+	for rank, sev := range w {
+		if sev <= 0 {
+			t.Errorf("rank %d never flushed: %v", rank, w)
+		}
+	}
+}
+
+func TestScenarioSetComplete(t *testing.T) {
+	set := ScenarioSet(smallParams())
+	if len(set) != 2 {
+		t.Fatalf("ScenarioSet has %d benchmarks, want 2", len(set))
+	}
+	if set[0].Name != "halo_jitter" || set[1].Name != "bursty_io" {
+		t.Errorf("ScenarioSet = %q, %q", set[0].Name, set[1].Name)
+	}
+}
+
 // TestDeterministicGeneration: the same parameters must generate
 // identical programs (jitter is seeded by name and rank).
 func TestDeterministicGeneration(t *testing.T) {

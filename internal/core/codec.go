@@ -143,11 +143,13 @@ func DecodeReduced(rd io.Reader) (*Reduced, error) {
 	if nNames > 1<<24 {
 		return nil, fmt.Errorf("core: name table size %d too large", nNames)
 	}
-	names := make([]string, nNames)
-	for i := range names {
-		if names[i], err = trace.ReadString(br); err != nil {
+	names := make([]string, 0, min(nNames, 1<<12))
+	for i := uint32(0); i < nNames; i++ {
+		s, err := trace.ReadString(br)
+		if err != nil {
 			return nil, err
 		}
+		names = append(names, s)
 	}
 	var nRanks uint32
 	if err := binary.Read(br, le, &nRanks); err != nil {
@@ -169,7 +171,10 @@ func DecodeReduced(rd io.Reader) (*Reduced, error) {
 		if nStored > 1<<24 || nExecs > 1<<28 {
 			return nil, fmt.Errorf("core: rank %d: implausible counts stored=%d execs=%d", rr.Rank, nStored, nExecs)
 		}
-		rr.Stored = make([]*segment.Segment, 0, nStored)
+		// Initial capacities are capped below the declared counts: a
+		// hostile header can promise huge counts, but every record costs
+		// input bytes, so growth-by-append bounds memory by stream size.
+		rr.Stored = make([]*segment.Segment, 0, min(nStored, 1<<12))
 		for j := uint32(0); j < nStored; j++ {
 			var ctxID uint32
 			var end int64
@@ -190,7 +195,7 @@ func DecodeReduced(rd io.Reader) (*Reduced, error) {
 				return nil, fmt.Errorf("core: context id %d out of range", ctxID)
 			}
 			s := &segment.Segment{Context: names[ctxID], Rank: rr.Rank, End: end, Weight: int(weight)}
-			s.Events = make([]trace.Event, 0, nEvents)
+			s.Events = make([]trace.Event, 0, min(nEvents, 1<<12))
 			for k := uint32(0); k < nEvents; k++ {
 				if _, err := io.ReadFull(br, rec); err != nil {
 					return nil, err
@@ -203,7 +208,7 @@ func DecodeReduced(rd io.Reader) (*Reduced, error) {
 			}
 			rr.Stored = append(rr.Stored, s)
 		}
-		rr.Execs = make([]Exec, 0, nExecs)
+		rr.Execs = make([]Exec, 0, min(nExecs, 1<<16))
 		for j := uint32(0); j < nExecs; j++ {
 			var id uint32
 			var start int64

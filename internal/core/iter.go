@@ -22,14 +22,18 @@ func NewIterK(k int) (Policy, error) {
 
 func (p *iterK) Name() string { return "iter_k" }
 
-func (p *iterK) Match(stored []*segment.Segment, cand *segment.Segment) int {
-	if len(stored) >= p.k {
-		return len(stored) - 1
+// Prepare is a no-op: iter_k matches on instance counts, not
+// measurements.
+func (p *iterK) Prepare(*segment.Segment) RepState { return nil }
+
+func (p *iterK) Match(cls *Class, _ *segment.Segment, _ RepState) int {
+	if cls.Len() >= p.k {
+		return cls.Len() - 1
 	}
 	return -1
 }
 
-func (p *iterK) Absorb(*segment.Segment, *segment.Segment) {}
+func (p *iterK) Absorb(*segment.Segment, *segment.Segment) bool { return false }
 
 // iterAvg keeps exactly one representative per pattern holding the
 // running average of every measurement over all folded instances.
@@ -40,8 +44,11 @@ func NewIterAvg() Policy { return iterAvg{} }
 
 func (iterAvg) Name() string { return "iter_avg" }
 
-func (iterAvg) Match(stored []*segment.Segment, cand *segment.Segment) int {
-	if len(stored) > 0 {
+// Prepare is a no-op: iter_avg always matches the single representative.
+func (iterAvg) Prepare(*segment.Segment) RepState { return nil }
+
+func (iterAvg) Match(cls *Class, _ *segment.Segment, _ RepState) int {
+	if cls.Len() > 0 {
 		return 0
 	}
 	return -1
@@ -51,7 +58,8 @@ func (iterAvg) Match(stored []*segment.Segment, cand *segment.Segment) int {
 // already representing w instances, each averaged measurement becomes
 // (w·avg + new) / (w+1). Integer division keeps timestamps in time units;
 // the sub-microsecond truncation is far below every threshold studied.
-func (iterAvg) Absorb(matched, cand *segment.Segment) {
+// It reports the mutation so the matcher refreshes any cached state.
+func (iterAvg) Absorb(matched, cand *segment.Segment) bool {
 	w := int64(matched.Weight)
 	avg := func(old, new int64) int64 { return (old*w + new) / (w + 1) }
 	matched.End = avg(matched.End, cand.End)
@@ -61,4 +69,5 @@ func (iterAvg) Absorb(matched, cand *segment.Segment) {
 	}
 	matched.Weight++
 	matched.ResetMeas() // the averaged stamps invalidate the cached vector
+	return true
 }

@@ -15,11 +15,11 @@ func TestIterKSemantics(t *testing.T) {
 		t.Errorf("Name = %q", p.Name())
 	}
 	// Fewer than k stored: no match, the segment must be kept.
-	if got := p.Match([]*segment.Segment{s0(), s1()}, s2()); got != -1 {
+	if got := scanMatch(p, []*segment.Segment{s0(), s1()}, s2()); got != -1 {
 		t.Errorf("with 2 < k stored, Match = %d, want -1", got)
 	}
 	// Exactly k stored: match the last collected copy (paper footnote 1).
-	if got := p.Match([]*segment.Segment{s0(), s1(), s2()}, s0()); got != 2 {
+	if got := scanMatch(p, []*segment.Segment{s0(), s1(), s2()}, s0()); got != 2 {
 		t.Errorf("with k stored, Match = %d, want 2 (last)", got)
 	}
 	if _, err := NewIterK(0); err == nil {
@@ -32,10 +32,10 @@ func TestIterAvgSemantics(t *testing.T) {
 	if p.Name() != "iter_avg" {
 		t.Errorf("Name = %q", p.Name())
 	}
-	if got := p.Match(nil, s2()); got != -1 {
+	if got := scanMatch(p, nil, s2()); got != -1 {
 		t.Errorf("first instance must not match, got %d", got)
 	}
-	if got := p.Match([]*segment.Segment{s0()}, s2()); got != 0 {
+	if got := scanMatch(p, []*segment.Segment{s0()}, s2()); got != 0 {
 		t.Errorf("later instances must match index 0, got %d", got)
 	}
 }

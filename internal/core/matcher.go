@@ -1,0 +1,116 @@
+package core
+
+import (
+	"repro/internal/segment"
+)
+
+// Class is one comparability group of stored representatives: segments
+// that share a pattern class in the paper's sense (same context, same
+// event shapes), held in collection order together with their prepared
+// per-representative state and their indices into the owning
+// RankReduced.Stored slice.
+//
+// A Class is built incrementally by a Matcher: the first kept segment of
+// the group becomes its prototype, and every later member was verified
+// Comparable with that prototype when it was inserted. Comparability is
+// an equivalence relation (context equality plus per-event shape
+// equality), so membership is transitive: a candidate Comparable with
+// the prototype is Comparable with every member, and policies never need
+// to re-check it.
+type Class struct {
+	proto  *segment.Segment
+	segs   []*segment.Segment
+	states []RepState
+	ids    []int
+}
+
+// Len returns the number of representatives in the class.
+func (c *Class) Len() int { return len(c.segs) }
+
+// Rep returns the i-th representative in collection order.
+func (c *Class) Rep(i int) *segment.Segment { return c.segs[i] }
+
+// State returns the prepared state of the i-th representative, as
+// returned by the policy's Prepare at insertion (or re-Prepare after a
+// mutating Absorb). It is nil for policies that prepare no state.
+func (c *Class) State(i int) RepState { return c.states[i] }
+
+// StoredID returns the i-th representative's index in the owning
+// RankReduced.Stored slice.
+func (c *Class) StoredID(i int) int { return c.ids[i] }
+
+// add appends a representative to the class.
+func (c *Class) add(rep *segment.Segment, id int, state RepState) {
+	c.segs = append(c.segs, rep)
+	c.states = append(c.states, state)
+	c.ids = append(c.ids, id)
+}
+
+// Matcher is the indexed pattern-class matcher at the heart of the
+// reduction engine: it buckets stored representatives by signature,
+// partitions each bucket into comparability Classes at insertion time
+// (defending against signature collisions once per class instead of
+// once per comparison), and caches each representative's prepared state
+// so the policy's derived data — transformed wavelet vectors, Minkowski
+// norms, max-abs values — is computed once at storage time rather than
+// on every scan.
+//
+// A Matcher indexes one rank's representatives and is not safe for
+// concurrent use; the engine runs one per RankReducer.
+type Matcher struct {
+	policy Policy
+	// buckets maps a signature to its comparability classes in creation
+	// order. Almost every bucket holds exactly one class; extras appear
+	// only on signature collisions between non-comparable segments.
+	buckets map[segment.Signature][]*Class
+}
+
+// NewMatcher returns an empty matcher for policy p.
+func NewMatcher(p Policy) *Matcher {
+	return &Matcher{policy: p, buckets: map[segment.Signature][]*Class{}}
+}
+
+// Scan locates cand's comparability class and asks the policy for the
+// first matching representative. cls is nil when cand has no comparable
+// predecessor (a new pattern class); idx is -1 when the class exists but
+// no stored representative matches. cs is the candidate's prepared
+// state, computed once per scanned segment and reusable by Insert when
+// the candidate is kept.
+func (m *Matcher) Scan(cand *segment.Segment) (cls *Class, idx int, cs RepState) {
+	for _, c := range m.buckets[cand.Sig()] {
+		if c.proto.Comparable(cand) {
+			cs = m.policy.Prepare(cand)
+			return c, m.policy.Match(c, cand, cs), cs
+		}
+	}
+	return nil, -1, nil
+}
+
+// Insert stores rep — the kept (cloned, start-normalized) form of a
+// scanned candidate — as a new representative with RankReduced.Stored
+// index id. cls and cs must be the values Scan returned for the
+// candidate: a nil cls starts a new comparability class under rep's
+// signature, and a nil cs (no class existed, so the candidate was never
+// prepared) is computed here. rep must have the same measurements as the
+// scanned candidate, so the candidate's prepared state carries over.
+func (m *Matcher) Insert(cls *Class, rep *segment.Segment, id int, cs RepState) {
+	if cs == nil {
+		cs = m.policy.Prepare(rep)
+	}
+	if cls == nil {
+		cls = &Class{proto: rep}
+		sig := rep.Sig()
+		m.buckets[sig] = append(m.buckets[sig], cls)
+	}
+	cls.add(rep, id, cs)
+}
+
+// Absorb folds cand into the class's i-th representative via the policy
+// and, when the policy reports it mutated the representative's
+// measurements (iter_avg's running average), re-prepares the cached
+// state so later scans see the updated derived data.
+func (m *Matcher) Absorb(cls *Class, i int, cand *segment.Segment) {
+	if m.policy.Absorb(cls.segs[i], cand) {
+		cls.states[i] = m.policy.Prepare(cls.segs[i])
+	}
+}

@@ -15,52 +15,113 @@ import (
 	"repro/internal/wavelet"
 )
 
+// RepState is a policy's prepared, policy-specific derived state for one
+// segment: whatever the policy wants computed once — at storage time for
+// representatives, once per incoming segment for candidates — instead of
+// on every pairwise comparison. Policies that need none return nil.
+type RepState any
+
 // Policy decides whether a new segment matches one of the stored
-// representatives of its pattern class. The reduction engine guarantees
-// that every candidate passed to Match is Comparable with cand (same
-// context, same events, same message parameters), so policies only judge
-// the timing measurements.
+// representatives of its pattern class. The matcher guarantees that
+// every class passed to Match holds only segments Comparable with cand
+// (same context, same events, same message parameters), so policies only
+// judge the timing measurements.
 type Policy interface {
 	// Name returns the method's canonical name (e.g. "relDiff").
 	Name() string
-	// Match returns the index within stored of the representative cand
-	// matches, or -1 for no match. stored holds, in collection order, the
-	// representatives already kept for cand's pattern class.
-	Match(stored []*segment.Segment, cand *segment.Segment) int
-	// Absorb folds cand into the matched representative. Only iter_avg
-	// mutates the representative; every other policy is a no-op.
-	Absorb(matched *segment.Segment, cand *segment.Segment)
+	// Prepare computes the derived matching state for a segment. The
+	// matcher calls it once per stored representative (at insertion, and
+	// again after a mutating Absorb) and once per scanned candidate,
+	// then hands the results back to Match.
+	Prepare(seg *segment.Segment) RepState
+	// Match returns the index within cls of the first representative
+	// cand matches, or -1 for no match. cls holds, in collection order,
+	// the representatives already kept for cand's pattern class; cs is
+	// cand's own Prepare result.
+	Match(cls *Class, cand *segment.Segment, cs RepState) int
+	// Absorb folds cand into the matched representative, reporting
+	// whether it mutated the representative's measurements (only
+	// iter_avg does; the matcher re-Prepares mutated representatives).
+	Absorb(matched *segment.Segment, cand *segment.Segment) bool
 }
 
-// distancePolicy adapts a pairwise segment predicate to the Policy
-// interface: a candidate matches the first stored representative the
-// predicate accepts.
-type distancePolicy struct {
-	name      string
-	threshold float64
-	match     func(threshold float64, a, b *segment.Segment) bool
+// measState is the prepared state of the pairwise and Minkowski-family
+// policies: the measurement vector's largest absolute value and (for the
+// Minkowski family) its order-m norm, the two scalars the scan's
+// lower-bound pruning compares before running a full distance loop.
+type measState struct {
+	maxAbs float64
+	norm   float64
 }
 
-func (p *distancePolicy) Name() string { return p.name }
+// pruneMargin is the conservative relative slack the lower-bound pruning
+// leaves for floating-point rounding. Pruning invariant: a representative
+// is skipped only when its lower bound provably exceeds the acceptance
+// bound — mathematically dist ≥ |‖a‖−‖b‖| holds exactly, and the margin
+// (1e-9, against accumulated rounding below ~1e-12 for the
+// integer-microsecond measurements the engine sees) guarantees the
+// computed comparison can never reject a pair the full distance test
+// would accept. First-match order is preserved because pruning only
+// skips representatives that cannot match; the scan order is unchanged.
+const pruneMargin = 1e-9
 
-func (p *distancePolicy) Match(stored []*segment.Segment, cand *segment.Segment) int {
-	for i, s := range stored {
-		if p.match(p.threshold, s, cand) {
+// pruned reports whether lower bound lb provably exceeds the acceptance
+// bound, with pruneMargin's slack.
+func pruned(lb, bound float64) bool {
+	return lb > bound+pruneMargin*(bound+lb)
+}
+
+// maxAbsOf returns the largest absolute value in v.
+func maxAbsOf(v []float64) float64 {
+	var m float64
+	for _, x := range v {
+		if ax := math.Abs(x); ax > m {
+			m = ax
+		}
+	}
+	return m
+}
+
+// relDiff compares each paired measurement in isolation:
+// |a−b| / max(a, b) must not exceed the threshold (paper §3.2.1; the
+// worked example gives |17−40|/40 = 0.58). Two zero measurements are
+// equal by definition.
+type relDiffPolicy struct{ threshold float64 }
+
+func (p *relDiffPolicy) Name() string { return "relDiff" }
+
+func (p *relDiffPolicy) Prepare(seg *segment.Segment) RepState {
+	return &measState{maxAbs: maxAbsOf(seg.Meas())}
+}
+
+func (p *relDiffPolicy) Match(cls *Class, cand *segment.Segment, cs RepState) int {
+	c := cs.(*measState)
+	vb := cand.Meas()
+	// Prune: a match forces every paired measurement within a factor of
+	// (1−t), in particular at the coordinate holding either vector's
+	// max-abs, so the two max-abs values must be within that factor of
+	// each other. factor ≤ 0 (t ≥ 1) disables pruning, as does a
+	// degenerate negative threshold, where factor > 1 would wrongly
+	// prune the identical vectors relDiffMatch still accepts.
+	factor := 1 - p.threshold - pruneMargin
+	if p.threshold < 0 {
+		factor = 0
+	}
+	for i, n := 0, cls.Len(); i < n; i++ {
+		r := cls.State(i).(*measState)
+		if factor > 0 && (c.maxAbs < factor*r.maxAbs || r.maxAbs < factor*c.maxAbs) {
+			continue
+		}
+		if relDiffMatch(p.threshold, cls.Rep(i).Meas(), vb) {
 			return i
 		}
 	}
 	return -1
 }
 
-func (p *distancePolicy) Absorb(*segment.Segment, *segment.Segment) {}
+func (p *relDiffPolicy) Absorb(*segment.Segment, *segment.Segment) bool { return false }
 
-// relDiff compares each paired measurement in isolation:
-// |a−b| / max(a, b) must not exceed the threshold (paper §3.2.1; the
-// worked example gives |17−40|/40 = 0.58). Two zero measurements are
-// equal by definition.
-func relDiffMatch(t float64, a, b *segment.Segment) bool {
-	va := a.Meas()
-	vb := b.Meas()
+func relDiffMatch(t float64, va, vb []float64) bool {
 	for i := range va {
 		x, y := va[i], vb[i]
 		d := math.Abs(x - y)
@@ -76,9 +137,34 @@ func relDiffMatch(t float64, a, b *segment.Segment) bool {
 }
 
 // absDiff allows a fixed absolute difference per paired measurement.
-func absDiffMatch(t float64, a, b *segment.Segment) bool {
-	va := a.Meas()
-	vb := b.Meas()
+type absDiffPolicy struct{ threshold float64 }
+
+func (p *absDiffPolicy) Name() string { return "absDiff" }
+
+func (p *absDiffPolicy) Prepare(seg *segment.Segment) RepState {
+	return &measState{maxAbs: maxAbsOf(seg.Meas())}
+}
+
+func (p *absDiffPolicy) Match(cls *Class, cand *segment.Segment, cs RepState) int {
+	c := cs.(*measState)
+	vb := cand.Meas()
+	for i, n := 0, cls.Len(); i < n; i++ {
+		r := cls.State(i).(*measState)
+		// Prune: the sup-norm reverse triangle inequality bounds the
+		// max-abs gap by the largest per-measurement difference.
+		if lb := math.Abs(r.maxAbs - c.maxAbs); pruned(lb, p.threshold) {
+			continue
+		}
+		if absDiffMatch(p.threshold, cls.Rep(i).Meas(), vb) {
+			return i
+		}
+	}
+	return -1
+}
+
+func (p *absDiffPolicy) Absorb(*segment.Segment, *segment.Segment) bool { return false }
+
+func absDiffMatch(t float64, va, vb []float64) bool {
 	for i := range va {
 		if math.Abs(va[i]-vb[i]) > t {
 			return false
@@ -87,22 +173,52 @@ func absDiffMatch(t float64, a, b *segment.Segment) bool {
 	return true
 }
 
-// minkowskiMatch computes the order-m Minkowski distance between the
+// minkowskiPolicy computes the order-m Minkowski distance between the
 // measurement vectors and accepts when it is at most threshold × the
 // largest measurement in the pair of vectors (paper Eq. 1 and the worked
 // example: max(51) × 0.2 = 10.2). m = 0 selects Chebyshev (m → ∞).
-func minkowskiMatch(t float64, m int, a, b *segment.Segment) bool {
-	va := a.Meas()
-	vb := b.Meas()
+type minkowskiPolicy struct {
+	name      string
+	threshold float64
+	m         int
+}
+
+func (p *minkowskiPolicy) Name() string { return p.name }
+
+func (p *minkowskiPolicy) Prepare(seg *segment.Segment) RepState {
+	v := seg.Meas()
+	return &measState{maxAbs: maxAbsOf(v), norm: minkowskiNorm(p.m, v)}
+}
+
+func (p *minkowskiPolicy) Match(cls *Class, cand *segment.Segment, cs RepState) int {
+	c := cs.(*measState)
+	vb := cand.Meas()
+	for i, n := 0, cls.Len(); i < n; i++ {
+		r := cls.State(i).(*measState)
+		maxVal := c.maxAbs
+		if r.maxAbs > maxVal {
+			maxVal = r.maxAbs
+		}
+		bound := p.threshold * maxVal
+		// Prune: the reverse triangle inequality gives
+		// dist(a, b) ≥ |‖a‖ − ‖b‖| for every Minkowski order.
+		if lb := math.Abs(r.norm - c.norm); pruned(lb, bound) {
+			continue
+		}
+		if minkowskiDist(p.m, cls.Rep(i).Meas(), vb) <= bound {
+			return i
+		}
+	}
+	return -1
+}
+
+func (p *minkowskiPolicy) Absorb(*segment.Segment, *segment.Segment) bool { return false }
+
+// minkowskiDist accumulates the order-m distance exactly as the
+// pre-matcher engine did, so cached-state matching stays bit-identical.
+func minkowskiDist(m int, va, vb []float64) float64 {
 	var dist float64
-	var maxVal float64
 	for i := range va {
-		if av := math.Abs(va[i]); av > maxVal {
-			maxVal = av
-		}
-		if bv := math.Abs(vb[i]); bv > maxVal {
-			maxVal = bv
-		}
 		d := math.Abs(va[i] - vb[i])
 		switch m {
 		case 0: // Chebyshev
@@ -125,36 +241,100 @@ func minkowskiMatch(t float64, m int, a, b *segment.Segment) bool {
 	default:
 		dist = math.Pow(dist, 1/float64(m))
 	}
-	return dist <= t*maxVal
+	return dist
 }
 
-// waveMatch transforms both stamp vectors (zero-padded to a power of two)
-// and accepts when the Euclidean distance between the transforms is at
-// most threshold × the largest value in the pair of transformed vectors
-// (paper Figure 3: 1.9 ≤ 0.2 × 17.625).
-func waveMatch(t float64, haar bool, a, b *segment.Segment) bool {
+// minkowskiNorm returns the order-m Minkowski norm of v (m = 0 is the
+// Chebyshev/sup norm).
+func minkowskiNorm(m int, v []float64) float64 {
+	var n float64
+	switch m {
+	case 0:
+		n = maxAbsOf(v)
+	case 1:
+		for _, x := range v {
+			n += math.Abs(x)
+		}
+	case 2:
+		for _, x := range v {
+			n += x * x
+		}
+		n = math.Sqrt(n)
+	default:
+		for _, x := range v {
+			n += math.Pow(math.Abs(x), float64(m))
+		}
+		n = math.Pow(n, 1/float64(m))
+	}
+	return n
+}
+
+// waveState is the prepared state of the wavelet policies: the
+// transformed, zero-padded stamp vector — the expensive per-comparison
+// computation of the pre-matcher engine, now done once per segment —
+// with its Euclidean norm and max-abs for pruning and threshold scaling.
+type waveState struct {
+	tr     []float64
+	norm   float64
+	maxAbs float64
+}
+
+// wavePolicy transforms both stamp vectors (zero-padded to a power of
+// two) and accepts when the Euclidean distance between the transforms is
+// at most threshold × the largest value in the pair of transformed
+// vectors (paper Figure 3: 1.9 ≤ 0.2 × 17.625).
+type wavePolicy struct {
+	name      string
+	threshold float64
+	haar      bool
+}
+
+func (p *wavePolicy) Name() string { return p.name }
+
+func (p *wavePolicy) Prepare(seg *segment.Segment) RepState {
 	// The stamp vector is a rotation of the cached measurement vector —
 	// [0, enters/exits..., end] vs [end, enters/exits...] — so build the
-	// zero-padded transform input straight from Meas without a StampVector
-	// allocation. Segments passed here always have equal event counts, so
-	// the padding is symmetric.
-	ma := a.Meas()
-	mb := b.Meas()
-	n := wavelet.NextPow2(len(ma) + 1)
-	if m := wavelet.NextPow2(len(mb) + 1); m > n {
-		n = m
-	}
-	pa := padStamps(ma, n)
-	pb := padStamps(mb, n)
-	var ta, tb []float64
-	if haar {
-		ta, tb = wavelet.Haar(pa), wavelet.Haar(pb)
+	// zero-padded transform input straight from Meas without a
+	// StampVector allocation. The padded length depends only on the
+	// segment's own event count, and Comparable segments have equal
+	// event counts, so every in-class comparison sees equal-length
+	// transforms — the same lengths the pre-matcher engine used.
+	meas := seg.Meas()
+	tr := padStamps(meas, wavelet.NextPow2(len(meas)+1))
+	if p.haar {
+		wavelet.HaarInPlace(tr)
 	} else {
-		ta, tb = wavelet.Average(pa), wavelet.Average(pb)
+		wavelet.AverageInPlace(tr)
 	}
-	d := wavelet.Euclidean(ta, tb)
-	return d <= t*wavelet.MaxAbs(ta, tb)
+	var sum float64
+	for _, x := range tr {
+		sum += x * x
+	}
+	return &waveState{tr: tr, norm: math.Sqrt(sum), maxAbs: maxAbsOf(tr)}
 }
+
+func (p *wavePolicy) Match(cls *Class, cand *segment.Segment, cs RepState) int {
+	c := cs.(*waveState)
+	for i, n := 0, cls.Len(); i < n; i++ {
+		r := cls.State(i).(*waveState)
+		maxVal := c.maxAbs
+		if r.maxAbs > maxVal {
+			maxVal = r.maxAbs
+		}
+		bound := p.threshold * maxVal
+		// Prune: Euclidean distance between the transforms is bounded
+		// below by the gap between their norms.
+		if lb := math.Abs(r.norm - c.norm); pruned(lb, bound) {
+			continue
+		}
+		if wavelet.Euclidean(r.tr, c.tr) <= bound {
+			return i
+		}
+	}
+	return -1
+}
+
+func (p *wavePolicy) Absorb(*segment.Segment, *segment.Segment) bool { return false }
 
 // padStamps lays a measurement vector [end, stamps...] out as the
 // zero-padded stamp vector [0, stamps..., end, 0...] of length n.
@@ -168,32 +348,29 @@ func padStamps(meas []float64, n int) []float64 {
 // NewRelDiff returns the relative-difference policy with the given
 // per-measurement threshold.
 func NewRelDiff(threshold float64) Policy {
-	return &distancePolicy{name: "relDiff", threshold: threshold, match: relDiffMatch}
+	return &relDiffPolicy{threshold: threshold}
 }
 
 // NewAbsDiff returns the absolute-difference policy; threshold is in time
 // units (microseconds).
 func NewAbsDiff(threshold float64) Policy {
-	return &distancePolicy{name: "absDiff", threshold: threshold, match: absDiffMatch}
+	return &absDiffPolicy{threshold: threshold}
 }
 
 // NewManhattan returns the Minkowski m=1 policy.
 func NewManhattan(threshold float64) Policy {
-	return &distancePolicy{name: "manhattan", threshold: threshold,
-		match: func(t float64, a, b *segment.Segment) bool { return minkowskiMatch(t, 1, a, b) }}
+	return &minkowskiPolicy{name: "manhattan", threshold: threshold, m: 1}
 }
 
 // NewEuclidean returns the Minkowski m=2 policy.
 func NewEuclidean(threshold float64) Policy {
-	return &distancePolicy{name: "euclidean", threshold: threshold,
-		match: func(t float64, a, b *segment.Segment) bool { return minkowskiMatch(t, 2, a, b) }}
+	return &minkowskiPolicy{name: "euclidean", threshold: threshold, m: 2}
 }
 
 // NewChebyshev returns the Minkowski m→∞ policy (largest single
 // measurement difference).
 func NewChebyshev(threshold float64) Policy {
-	return &distancePolicy{name: "chebyshev", threshold: threshold,
-		match: func(t float64, a, b *segment.Segment) bool { return minkowskiMatch(t, 0, a, b) }}
+	return &minkowskiPolicy{name: "chebyshev", threshold: threshold, m: 0}
 }
 
 // NewMinkowski returns a Minkowski policy of arbitrary order m >= 1; the
@@ -203,18 +380,15 @@ func NewMinkowski(m int, threshold float64) (Policy, error) {
 	if m < 1 {
 		return nil, fmt.Errorf("core: Minkowski order must be >= 1, got %d", m)
 	}
-	return &distancePolicy{name: fmt.Sprintf("minkowski%d", m), threshold: threshold,
-		match: func(t float64, a, b *segment.Segment) bool { return minkowskiMatch(t, m, a, b) }}, nil
+	return &minkowskiPolicy{name: fmt.Sprintf("minkowski%d", m), threshold: threshold, m: m}, nil
 }
 
 // NewAvgWave returns the average-wavelet-transform policy.
 func NewAvgWave(threshold float64) Policy {
-	return &distancePolicy{name: "avgWave", threshold: threshold,
-		match: func(t float64, a, b *segment.Segment) bool { return waveMatch(t, false, a, b) }}
+	return &wavePolicy{name: "avgWave", threshold: threshold, haar: false}
 }
 
 // NewHaarWave returns the Haar-wavelet-transform policy.
 func NewHaarWave(threshold float64) Policy {
-	return &distancePolicy{name: "haarWave", threshold: threshold,
-		match: func(t float64, a, b *segment.Segment) bool { return waveMatch(t, true, a, b) }}
+	return &wavePolicy{name: "haarWave", threshold: threshold, haar: true}
 }

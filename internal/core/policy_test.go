@@ -31,9 +31,20 @@ func s0() *segment.Segment { return figure2Segment(50, 1, 20, 21, 49) }
 func s1() *segment.Segment { return figure2Segment(51, 1, 40, 41, 50) }
 func s2() *segment.Segment { return figure2Segment(49, 1, 17, 18, 48) }
 
+// scanMatch runs a policy over stored in collection order through a
+// hand-built class, preparing representative and candidate state exactly
+// as the matcher would.
+func scanMatch(p Policy, stored []*segment.Segment, cand *segment.Segment) int {
+	cls := &Class{}
+	for i, s := range stored {
+		cls.add(s, i, p.Prepare(s))
+	}
+	return p.Match(cls, cand, p.Prepare(cand))
+}
+
 // matchOne runs a policy against a single stored candidate.
 func matchOne(p Policy, stored, cand *segment.Segment) bool {
-	return p.Match([]*segment.Segment{stored}, cand) == 0
+	return scanMatch(p, []*segment.Segment{stored}, cand) == 0
 }
 
 // TestRelDiffPaperExample: at threshold 0.5, s2 does not match s1
@@ -188,10 +199,10 @@ func TestWaveletTrendValues(t *testing.T) {
 func TestDistancePoliciesMatchFirstFit(t *testing.T) {
 	p := NewAbsDiff(20)
 	stored := []*segment.Segment{s1(), s0()} // s2 fails s1, matches s0
-	if got := p.Match(stored, s2()); got != 1 {
+	if got := scanMatch(p, stored, s2()); got != 1 {
 		t.Errorf("Match = %d, want 1", got)
 	}
-	if got := p.Match(nil, s2()); got != -1 {
+	if got := scanMatch(p, nil, s2()); got != -1 {
 		t.Errorf("Match with no candidates = %d, want -1", got)
 	}
 }
@@ -209,6 +220,20 @@ func TestZeroMeasurements(t *testing.T) {
 	} {
 		if !matchOne(p, mk(), mk()) {
 			t.Errorf("%s: identical zero segments must match", p.Name())
+		}
+	}
+}
+
+// TestRelDiffDegenerateThresholds: relDiffMatch accepts identical
+// vectors at any threshold (every zero difference is skipped), so the
+// max-abs pruning must never reject an exact copy — including at the
+// degenerate thresholds 0 and below, where the prune factor would
+// otherwise exceed 1.
+func TestRelDiffDegenerateThresholds(t *testing.T) {
+	for _, th := range []float64{-1, -0.1, 0, 0.1} {
+		p := NewRelDiff(th)
+		if !matchOne(p, s0(), s0()) {
+			t.Errorf("relDiff(%v): identical segments must match", th)
 		}
 	}
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"slices"
+
 	"repro/internal/segment"
 	"repro/internal/trace"
 )
@@ -14,15 +16,16 @@ import (
 // rank first. Reduce itself is a thin driver that runs one RankReducer
 // per rank on a worker pool.
 //
+// Matching goes through a Matcher: representatives are indexed by
+// signature, partitioned into comparability classes at insertion, and
+// carry the policy's prepared state, so a scan costs one class lookup
+// plus prepared-state comparisons instead of per-comparison Comparable
+// checks and derived-data recomputation.
+//
 // A RankReducer is not safe for concurrent use; use one per goroutine.
 type RankReducer struct {
-	policy Policy
-	out    RankReduced
-	// byClass maps a signature to the stored indices of that pattern
-	// class, in collection order. Signature collisions are guarded by
-	// Comparable in candBuf2IDs.
-	byClass map[segment.Signature][]int
-	candBuf []*segment.Segment
+	m   *Matcher
+	out RankReduced
 
 	total, matches, possible int
 }
@@ -31,9 +34,8 @@ type RankReducer struct {
 // policy p.
 func NewRankReducer(rank int, p Policy) *RankReducer {
 	return &RankReducer{
-		policy:  p,
-		out:     RankReduced{Rank: rank},
-		byClass: map[segment.Signature][]int{},
+		m:   NewMatcher(p),
+		out: RankReduced{Rank: rank},
 	}
 }
 
@@ -45,15 +47,13 @@ func NewRankReducer(rank int, p Policy) *RankReducer {
 func (r *RankReducer) Feed(s *segment.Segment) {
 	r.total++
 	rr := &r.out
-	ids := r.byClass[s.Sig()]
-	r.candBuf = r.candBuf[:0]
-	candIDs := candBuf2IDs(ids, rr.Stored, s, &r.candBuf)
-	if len(candIDs) > 0 {
+	cls, idx, cs := r.m.Scan(s)
+	if cls != nil {
 		r.possible++
 	}
-	if idx := r.policy.Match(r.candBuf, s); idx >= 0 {
-		storedID := candIDs[idx]
-		r.policy.Absorb(rr.Stored[storedID], s)
+	if idx >= 0 {
+		storedID := cls.StoredID(idx)
+		r.m.Absorb(cls, idx, s)
 		rr.Execs = append(rr.Execs, Exec{ID: storedID, Start: s.Start})
 		r.matches++
 		return
@@ -63,13 +63,23 @@ func (r *RankReducer) Feed(s *segment.Segment) {
 	kept.Start = 0
 	rr.Stored = append(rr.Stored, kept)
 	rr.Execs = append(rr.Execs, Exec{ID: id, Start: s.Start})
-	r.byClass[s.Sig()] = append(ids, id)
+	r.m.Insert(cls, kept, id, cs)
 }
 
 // FeedEvents splits one rank's raw event stream incrementally and feeds
 // every completed segment, fusing segment.Splitter with the reducer so a
-// decoded rank trace never holds its segment list in memory.
+// decoded rank trace never holds its segment list in memory. Because the
+// reducer clones what it keeps, each delivered segment's event storage
+// is recycled into the splitter, and the execution log is pre-grown to
+// the stream's segment count.
 func (r *RankReducer) FeedEvents(rank int, events []trace.Event) error {
+	nseg := 0
+	for i := range events {
+		if events[i].Kind == trace.KindMarkBegin {
+			nseg++
+		}
+	}
+	r.out.Execs = slices.Grow(r.out.Execs, nseg)
 	sp := segment.NewSplitter(rank)
 	for _, e := range events {
 		s, err := sp.Feed(e)
@@ -78,6 +88,7 @@ func (r *RankReducer) FeedEvents(rank int, events []trace.Event) error {
 		}
 		if s != nil {
 			r.Feed(s)
+			sp.Recycle(s)
 		}
 	}
 	return sp.Finish()

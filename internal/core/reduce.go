@@ -149,22 +149,18 @@ func ReduceSequential(t *trace.Trace, p Policy) (*Reduced, error) {
 	for rank, segs := range perRank {
 		rr := &red.Ranks[rank]
 		rr.Rank = rank
-		// byClass maps a signature to the stored indices of that pattern
-		// class, in collection order. Signature collisions are guarded by
-		// Comparable below.
-		byClass := map[segment.Signature][]int{}
-		var candBuf []*segment.Segment
+		// One matcher per rank, mirroring the per-rank class index the
+		// incremental engine builds.
+		m := NewMatcher(p)
 		for _, s := range segs {
 			red.TotalSegments++
-			ids := byClass[s.Sig()]
-			candBuf = candBuf[:0]
-			candIDs := candBuf2IDs(ids, rr.Stored, s, &candBuf)
-			if len(candIDs) > 0 {
+			cls, idx, cs := m.Scan(s)
+			if cls != nil {
 				red.PossibleMatches++
 			}
-			if idx := p.Match(candBuf, s); idx >= 0 {
-				storedID := candIDs[idx]
-				p.Absorb(rr.Stored[storedID], s)
+			if idx >= 0 {
+				storedID := cls.StoredID(idx)
+				m.Absorb(cls, idx, s)
 				rr.Execs = append(rr.Execs, Exec{ID: storedID, Start: s.Start})
 				red.Matches++
 				continue
@@ -174,24 +170,10 @@ func ReduceSequential(t *trace.Trace, p Policy) (*Reduced, error) {
 			kept.Start = 0
 			rr.Stored = append(rr.Stored, kept)
 			rr.Execs = append(rr.Execs, Exec{ID: id, Start: s.Start})
-			byClass[s.Sig()] = append(ids, id)
+			m.Insert(cls, kept, id, cs)
 		}
 	}
 	return red, nil
-}
-
-// candBuf2IDs filters the candidate stored indices down to those truly
-// comparable with s (defends against signature collisions), fills buf with
-// the corresponding segments, and returns the filtered index list.
-func candBuf2IDs(ids []int, stored []*segment.Segment, s *segment.Segment, buf *[]*segment.Segment) []int {
-	out := ids[:0:0]
-	for _, id := range ids {
-		if stored[id].Comparable(s) {
-			out = append(out, id)
-			*buf = append(*buf, stored[id])
-		}
-	}
-	return out
 }
 
 // Reconstruct re-creates an approximate full trace from the reduction:

@@ -27,23 +27,29 @@ func NewSampleN(n int) (Policy, error) {
 
 func (p *sampleN) Name() string { return "sample_n" }
 
+// Prepare is a no-op: sampling matches on instance counts, not
+// measurements.
+func (p *sampleN) Prepare(*segment.Segment) RepState { return nil }
+
 // Match consults the per-class instance count encoded in the stored
 // representatives' weights: the class has seen sum(Weight) instances so
 // far; instance i is kept iff i ≡ 0 (mod n). Skipped instances match the
 // most recently kept representative.
-func (p *sampleN) Match(stored []*segment.Segment, cand *segment.Segment) int {
+func (p *sampleN) Match(cls *Class, _ *segment.Segment, _ RepState) int {
 	seen := 0
-	for _, s := range stored {
-		seen += s.Weight
+	for i, n := 0, cls.Len(); i < n; i++ {
+		seen += cls.Rep(i).Weight
 	}
 	if seen%p.n == 0 {
 		return -1 // due for a fresh sample: keep cand verbatim
 	}
-	return len(stored) - 1
+	return cls.Len() - 1
 }
 
 // Absorb counts the skipped instance against the representative so the
-// sampling cadence stays aligned with the run.
-func (p *sampleN) Absorb(matched, cand *segment.Segment) {
+// sampling cadence stays aligned with the run. The weight bump leaves
+// the measurements untouched, so no state refresh is needed.
+func (p *sampleN) Absorb(matched, cand *segment.Segment) bool {
 	matched.Weight++
+	return false
 }

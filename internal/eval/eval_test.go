@@ -9,14 +9,14 @@ import (
 
 func TestCatalogShape(t *testing.T) {
 	ws := Catalog()
-	if len(ws) != 18 {
-		t.Fatalf("catalog has %d workloads, want the paper's 18", len(ws))
+	if len(ws) != 20 {
+		t.Fatalf("catalog has %d workloads, want the paper's 18 plus 2 scenario extensions", len(ws))
 	}
 	groups := map[string]int{}
 	for _, w := range ws {
 		groups[w.Group]++
 	}
-	want := map[string]int{"regular": 5, "interference": 10, "dynamic": 1, "application": 2}
+	want := map[string]int{"regular": 5, "interference": 10, "dynamic": 1, "scenario": 2, "application": 2}
 	for g, n := range want {
 		if groups[g] != n {
 			t.Errorf("group %s has %d workloads, want %d", g, groups[g], n)
@@ -25,11 +25,11 @@ func TestCatalogShape(t *testing.T) {
 }
 
 func TestNameLists(t *testing.T) {
-	if got := len(AllNames()); got != 18 {
-		t.Errorf("AllNames = %d entries", got)
+	if got := len(AllNames()); got != 20 {
+		t.Errorf("AllNames = %d entries, want 20", got)
 	}
-	if got := len(BenchmarkNames()); got != 16 {
-		t.Errorf("BenchmarkNames = %d entries, want 16", got)
+	if got := len(BenchmarkNames()); got != 18 {
+		t.Errorf("BenchmarkNames = %d entries, want 18", got)
 	}
 	apps := ApplicationNames()
 	if len(apps) != 2 || apps[0] != "sweep3d_8p" || apps[1] != "sweep3d_32p" {

@@ -1,8 +1,9 @@
-// Package eval assembles the paper's evaluation: the catalog of 18
+// Package eval assembles the paper's evaluation: the catalog of 20
 // workload traces (five regular benchmarks, ten interference benchmarks,
-// dyn_load_balance, and two Sweep3D runs), the per-(workload, method,
-// threshold) evaluation pipeline computing all four criteria, and the
-// threshold/comparative studies behind every figure and table.
+// dyn_load_balance, two scenario-diversity benchmarks — jittered halo
+// exchange and bursty I/O — and two Sweep3D runs), the per-(workload,
+// method, threshold) evaluation pipeline computing all four criteria,
+// and the threshold/comparative studies behind every figure and table.
 package eval
 
 import (
@@ -43,7 +44,9 @@ func fromBenchmark(group string, mk func() *ats.Benchmark) Workload {
 	}
 }
 
-// Catalog returns the paper's 18 workloads in presentation order.
+// Catalog returns the study's 20 workloads in presentation order: the
+// paper's 18, then the two scenario-diversity extensions before the
+// Sweep3D applications.
 func Catalog() []Workload {
 	var ws []Workload
 	reg := ats.DefaultParams()
@@ -66,6 +69,11 @@ func Catalog() []Workload {
 	dyn := ats.DefaultParams()
 	dyn.Iterations = 64
 	ws = append(ws, fromBenchmark("dynamic", func() *ats.Benchmark { return ats.DynLoadBalance(dyn) }))
+	scen := ats.DefaultParams()
+	ws = append(ws,
+		fromBenchmark("scenario", func() *ats.Benchmark { return ats.HaloJitter(scen) }),
+		fromBenchmark("scenario", func() *ats.Benchmark { return ats.BurstyIO(scen) }),
+	)
 	ws = append(ws,
 		Workload{Name: "sweep3d_8p", Group: "application", Ranks: sweep3d.Input50().Ranks(),
 			Build: func() (*mpisim.Program, mpisim.Config, error) {
@@ -81,8 +89,9 @@ func Catalog() []Workload {
 	return ws
 }
 
-// BenchmarkNames returns the 16 non-application workload names (the set
-// the paper's Figures 9–16 sweep).
+// BenchmarkNames returns the 18 non-application workload names (the
+// paper's 16 plus the two scenario extensions — the set the threshold
+// sweeps of Figures 9–16 cover).
 func BenchmarkNames() []string {
 	var names []string
 	for _, w := range Catalog() {
@@ -96,7 +105,7 @@ func BenchmarkNames() []string {
 // ApplicationNames returns the two Sweep3D workload names.
 func ApplicationNames() []string { return []string{"sweep3d_8p", "sweep3d_32p"} }
 
-// AllNames returns all 18 workload names in catalog order.
+// AllNames returns all 20 workload names in catalog order.
 func AllNames() []string {
 	var names []string
 	for _, w := range Catalog() {

@@ -1,0 +1,53 @@
+// Package profiling wires the standard runtime/pprof profile writers
+// into the CLI commands, so matcher and engine changes are measurable
+// with -cpuprofile/-memprofile flags instead of editing benchmark code.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling to cpuPath (if non-empty) and arranges a
+// heap profile at memPath (if non-empty). It returns a stop function
+// that must be called exactly once, before the process exits, to flush
+// both profiles; with both paths empty, Start and the stop function are
+// no-ops.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("profiling: starting CPU profile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("profiling: closing CPU profile: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("profiling: %w", err)
+			}
+			runtime.GC() // materialize the final live heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				f.Close()
+				return fmt.Errorf("profiling: writing heap profile: %w", err)
+			}
+			if err := f.Close(); err != nil {
+				return fmt.Errorf("profiling: closing heap profile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

@@ -6,8 +6,6 @@ package segment
 
 import (
 	"fmt"
-	"hash/fnv"
-	"strconv"
 
 	"repro/internal/trace"
 )
@@ -40,35 +38,50 @@ type Segment struct {
 // signatures are equal.
 type Signature uint64
 
+// FNV-64a parameters, inlined so signature hashing runs without
+// interface dispatch or decimal formatting on the per-segment hot path.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// fnvStr folds a length-prefixed string into an FNV-64a state.
+func fnvStr(h uint64, x string) uint64 {
+	h = fnvInt(h, uint64(len(x)))
+	for i := 0; i < len(x); i++ {
+		h = (h ^ uint64(x[i])) * fnvPrime64
+	}
+	return h
+}
+
+// fnvInt folds a 64-bit value into an FNV-64a state byte by byte.
+func fnvInt(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h = (h ^ (v & 0xff)) * fnvPrime64
+		v >>= 8
+	}
+	return h
+}
+
 // Sig returns the segment's signature, computing and caching it on first
 // call.
 func (s *Segment) Sig() Signature {
 	if s.sig != 0 {
 		return s.sig
 	}
-	h := fnv.New64a()
-	var buf []byte
-	writeStr := func(x string) {
-		buf = strconv.AppendInt(buf[:0], int64(len(x)), 10)
-		h.Write(buf)
-		h.Write([]byte(x))
+	h := uint64(fnvOffset64)
+	h = fnvStr(h, s.Context)
+	h = fnvInt(h, uint64(len(s.Events)))
+	for i := range s.Events {
+		e := &s.Events[i]
+		h = fnvStr(h, e.Name)
+		h = fnvInt(h, uint64(e.Kind))
+		h = fnvInt(h, uint64(e.Peer))
+		h = fnvInt(h, uint64(e.Tag))
+		h = fnvInt(h, uint64(e.Bytes))
+		h = fnvInt(h, uint64(e.Root))
 	}
-	writeInt := func(x int64) {
-		buf = strconv.AppendInt(buf[:0], x, 10)
-		buf = append(buf, ';')
-		h.Write(buf)
-	}
-	writeStr(s.Context)
-	writeInt(int64(len(s.Events)))
-	for _, e := range s.Events {
-		writeStr(e.Name)
-		writeInt(int64(e.Kind))
-		writeInt(int64(e.Peer))
-		writeInt(int64(e.Tag))
-		writeInt(e.Bytes)
-		writeInt(int64(e.Root))
-	}
-	s.sig = Signature(h.Sum64())
+	s.sig = Signature(h)
 	if s.sig == 0 {
 		s.sig = 1 // reserve 0 for "not yet computed"
 	}
@@ -78,6 +91,12 @@ func (s *Segment) Sig() Signature {
 // ResetSig clears the cached signature; call it after mutating a
 // segment's identity fields (context, event shapes).
 func (s *Segment) ResetSig() { s.sig = 0 }
+
+// ForceSig overrides the cached signature. It exists solely so tests can
+// simulate FNV-64 signature collisions between non-comparable segments —
+// infeasible to construct organically — and exercise the collision
+// defenses downstream. Never call it outside tests.
+func (s *Segment) ForceSig(sig Signature) { s.sig = sig }
 
 // Comparable reports whether two segments have the same context and the
 // same events (names, kinds, message parameters) in the same order — the

@@ -15,6 +15,9 @@ type Splitter struct {
 	rank int
 	pos  int // events consumed, for error positions
 	cur  *Segment
+	// free is recycled event storage donated back via Recycle; the next
+	// begin marker adopts it instead of growing a fresh slice.
+	free []trace.Event
 }
 
 // NewSplitter returns a Splitter for the given rank's event stream.
@@ -36,7 +39,8 @@ func (sp *Splitter) Feed(e trace.Event) (*Segment, error) {
 			return nil, fmt.Errorf("segment: rank %d event %d: nested segment %q inside %q",
 				sp.rank, i, e.Name, sp.cur.Context)
 		}
-		sp.cur = &Segment{Context: e.Name, Rank: sp.rank, Start: e.Enter, Weight: 1}
+		sp.cur = &Segment{Context: e.Name, Rank: sp.rank, Start: e.Enter, Weight: 1, Events: sp.free}
+		sp.free = nil
 		return nil, nil
 	case trace.KindMarkEnd:
 		if sp.cur == nil {
@@ -75,3 +79,15 @@ func (sp *Splitter) Finish() error {
 // Open reports whether a segment is currently open (a begin marker has
 // been fed without its matching end).
 func (sp *Splitter) Open() bool { return sp.cur != nil }
+
+// Recycle donates a delivered segment's event storage back to the
+// splitter for the next segment, eliminating the per-segment slice
+// growth in fused split-and-consume loops. The caller must be finished
+// with s and must not have retained s.Events or anything aliasing it
+// (Segment.Clone copies the events, so cloned-and-kept segments are
+// safe to recycle).
+func (sp *Splitter) Recycle(s *Segment) {
+	if s != nil && cap(s.Events) > cap(sp.free) {
+		sp.free = s.Events[:0]
+	}
+}

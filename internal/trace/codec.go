@@ -220,11 +220,13 @@ func NewDecoder(r io.Reader) (*Decoder, error) {
 	if nNames > 1<<24 {
 		return nil, fmt.Errorf("trace: name table size %d too large", nNames)
 	}
-	names := make([]string, nNames)
-	for i := range names {
-		if names[i], err = ReadString(br); err != nil {
+	names := make([]string, 0, min(nNames, 1<<12))
+	for i := uint32(0); i < nNames; i++ {
+		s, err := ReadString(br)
+		if err != nil {
 			return nil, fmt.Errorf("trace: reading name table: %w", err)
 		}
+		names = append(names, s)
 	}
 	var nRanks uint32
 	if err := binary.Read(br, binary.LittleEndian, &nRanks); err != nil {
@@ -261,7 +263,11 @@ func (d *Decoder) NextRank() (*RankTrace, error) {
 	}
 	rt := &RankTrace{Rank: int(rank)}
 	if nEvents > 0 {
-		rt.Events = make([]Event, 0, nEvents)
+		// Cap the upfront allocation: a hostile or corrupt header can
+		// declare billions of events, but each one still costs
+		// EventRecordSize bytes of input, so growth-by-append bounds
+		// memory by the actual stream size.
+		rt.Events = make([]Event, 0, min(nEvents, 1<<16))
 	}
 	rec := make([]byte, EventRecordSize)
 	for j := uint32(0); j < nEvents; j++ {

@@ -1,0 +1,70 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// fuzzSeedTrace builds a small, structurally valid trace covering every
+// record feature the TRC1 codec serializes: multiple ranks, markers,
+// compute and communication events, message parameters, and name reuse.
+func fuzzSeedTrace() *Trace {
+	t := New("fuzz_seed", 2)
+	for rank := 0; rank < 2; rank++ {
+		rt := &t.Ranks[rank]
+		base := Time(10 * (rank + 1))
+		rt.Events = append(rt.Events,
+			Event{Name: "main.1", Kind: KindMarkBegin, Enter: base, Exit: base, Peer: NoPeer, Root: NoPeer},
+			Event{Name: "do_work", Kind: KindCompute, Enter: base + 1, Exit: base + 5, Peer: NoPeer, Root: NoPeer},
+			Event{Name: "MPI_Send", Kind: KindSend, Enter: base + 6, Exit: base + 7, Peer: int32(1 - rank), Tag: 7, Bytes: 4096, Root: NoPeer},
+			Event{Name: "MPI_Bcast", Kind: KindBcast, Enter: base + 8, Exit: base + 9, Peer: NoPeer, Bytes: 64, Root: 0},
+			Event{Name: "main.1", Kind: KindMarkEnd, Enter: base + 10, Exit: base + 10, Peer: NoPeer, Root: NoPeer},
+		)
+	}
+	return t
+}
+
+// FuzzDecodeRoundTrip drives the TRC1 decoder with arbitrary bytes and,
+// whenever they decode, requires the encode→decode→encode round trip to
+// be a fixed point: the re-encoded bytes must decode to the same trace
+// and encode identically again. Run it as a smoke pass with
+//
+//	go test -fuzz=FuzzDecodeRoundTrip -fuzztime=10s ./internal/trace
+func FuzzDecodeRoundTrip(f *testing.F) {
+	var seed bytes.Buffer
+	if err := Encode(&seed, fuzzSeedTrace()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add(seed.Bytes()[:len(seed.Bytes())/2]) // truncated file
+	f.Add([]byte("TRC1"))                     // bare magic
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<20 {
+			return // bound fuzz memory, not a format property
+		}
+		t1, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return // invalid input is fine; not crashing is the property
+		}
+		var enc1 bytes.Buffer
+		if err := Encode(&enc1, t1); err != nil {
+			t.Fatalf("re-encoding decoded trace: %v", err)
+		}
+		t2, err := Decode(bytes.NewReader(enc1.Bytes()))
+		if err != nil {
+			t.Fatalf("decoding re-encoded trace: %v", err)
+		}
+		var enc2 bytes.Buffer
+		if err := Encode(&enc2, t2); err != nil {
+			t.Fatalf("third encode: %v", err)
+		}
+		if !bytes.Equal(enc1.Bytes(), enc2.Bytes()) {
+			t.Fatal("encode→decode→encode is not a fixed point")
+		}
+		if t1.Name != t2.Name || t1.NumRanks() != t2.NumRanks() || t1.NumEvents() != t2.NumEvents() {
+			t.Fatalf("round trip changed trace shape: %s/%d/%d vs %s/%d/%d",
+				t1.Name, t1.NumRanks(), t1.NumEvents(), t2.Name, t2.NumRanks(), t2.NumEvents())
+		}
+	})
+}

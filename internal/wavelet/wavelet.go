@@ -29,27 +29,31 @@ func Pad(v []float64) []float64 {
 }
 
 // step performs one level of the transform on v[:n], writing trends to the
-// first n/2 slots and fluctuations to the second n/2, with the given
-// scale factor applied to both (1 for the average transform, √2⁻¹… no:
-// Haar uses (a+b)/√2 and (a−b)/√2, i.e. scale = 1/√2 relative to sum,
-// which equals the pairwise average multiplied by √2).
-func step(v []float64, n int, scale float64) {
+// first n/2 slots and fluctuations to the second n/2 via the scratch
+// buffer tmp (len >= n), with the given scale factor applied to both
+// (1 for the average transform, √2⁻¹… no: Haar uses (a+b)/√2 and
+// (a−b)/√2, i.e. scale = 1/√2 relative to sum, which equals the pairwise
+// average multiplied by √2).
+func step(v, tmp []float64, n int, scale float64) {
 	half := n / 2
-	tmp := make([]float64, n)
 	for i := 0; i < half; i++ {
 		a, b := v[2*i], v[2*i+1]
 		tmp[i] = (a + b) / 2 * scale
 		tmp[half+i] = (a - b) / 2 * scale
 	}
-	copy(v[:n], tmp)
+	copy(v[:n], tmp[:n])
 }
 
-// transform runs the full multi-level decomposition in place. v must have
-// power-of-two length. At each level the trend half is decomposed again,
-// as in the paper's Figure 3.
+// transform runs the full multi-level decomposition in place through one
+// shared scratch buffer. v must have power-of-two length. At each level
+// the trend half is decomposed again, as in the paper's Figure 3.
 func transform(v []float64, scale float64) {
+	if len(v) < 2 {
+		return
+	}
+	tmp := make([]float64, len(v))
 	for n := len(v); n >= 2; n /= 2 {
-		step(v, n, scale)
+		step(v, tmp, n, scale)
 	}
 }
 
@@ -69,6 +73,15 @@ func Haar(v []float64) []float64 {
 	transform(out, math.Sqrt2)
 	return out
 }
+
+// AverageInPlace applies the multi-level average transform to v, which
+// must already have power-of-two length. It is the allocation-lean form
+// of Average for callers that own a padded buffer.
+func AverageInPlace(v []float64) { transform(v, 1) }
+
+// HaarInPlace applies the multi-level Haar transform to v, which must
+// already have power-of-two length.
+func HaarInPlace(v []float64) { transform(v, math.Sqrt2) }
 
 // Euclidean returns the Euclidean (L2) distance between equal-length
 // vectors a and b. It panics if the lengths differ.

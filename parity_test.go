@@ -2,7 +2,9 @@
 // results byte-identical to the retained sequential reference path, and
 // the direct-from-reduced evaluation engine results exactly equal to the
 // retained reconstruct-based reference, for every workload × method at
-// the paper's default thresholds. The encoded reduced form covers the
+// the paper's default thresholds. The workload set is eval.AllNames() —
+// all 20 workloads, including the scenario extensions halo_jitter and
+// bursty_io. The encoded reduced form covers the
 // stored segments and execution logs; counters, criteria, and diagnoses
 // are compared directly.
 package repro

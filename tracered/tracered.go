@@ -187,7 +187,7 @@ func Evaluate(full *Trace, method string, threshold float64) (*EvalResult, error
 	return eval.Evaluate(full, fullDiag, method, threshold)
 }
 
-// WorkloadNames returns the study's 18 workload names in catalog order.
+// WorkloadNames returns the study's 20 workload names in catalog order.
 func WorkloadNames() []string { return eval.AllNames() }
 
 // GenerateWorkload builds and simulates one of the named study workloads

@@ -143,8 +143,8 @@ func TestReducedIO(t *testing.T) {
 
 func TestWorkloadNames(t *testing.T) {
 	names := tracered.WorkloadNames()
-	if len(names) != 18 {
-		t.Errorf("WorkloadNames = %d, want 18", len(names))
+	if len(names) != 20 {
+		t.Errorf("WorkloadNames = %d, want 20", len(names))
 	}
 	if _, err := tracered.GenerateWorkload("not-a-workload"); err == nil {
 		t.Error("unknown workload must fail")
