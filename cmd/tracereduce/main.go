@@ -6,7 +6,13 @@
 //
 //	tracereduce -in late_sender.trc -method avgWave -threshold 0.2 -out late_sender.trr
 //	tracereduce -in late_sender.trc -method iter_k -threshold 10 -verify
+//	tracereduce -in sweep.trc -method haarWave -match lsh -verify
 //	tracereduce -in sweep.trc -method haarWave -cpuprofile reduce.prof
+//
+// -match selects the matcher's search mode: exact (default, the paper's
+// first-match scan), vptree or lsh (sublinear approximate searches), or
+// auto (best supported index per method). See docs/APPROX_MATCHING.md
+// for when the approximate results are safe to trust.
 //
 // The trace is decoded, segmented, and reduced rank by rank on a worker
 // pool, so only a pool's worth of ranks is ever held in memory alongside
@@ -31,6 +37,7 @@ func main() {
 	out := flag.String("out", "", "output reduced-trace file (optional)")
 	method := flag.String("method", "avgWave", "similarity method")
 	threshold := flag.Float64("threshold", -1, "match threshold (default: the paper's per-method default)")
+	match := flag.String("match", "exact", "match mode: exact, vptree, lsh, or auto")
 	verify := flag.Bool("verify", false, "also reconstruct and score error/trend retention")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the reduction to `file`")
 	memprofile := flag.String("memprofile", "", "write a heap profile taken after the reduction to `file`")
@@ -48,12 +55,17 @@ func main() {
 		}
 		*threshold = t
 	}
+	mode, err := tracered.ParseMatchMode(*match)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracereduce:", err)
+		os.Exit(2)
+	}
 	stopProf, err := profiling.Start(*cpuprofile, *memprofile)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tracereduce:", err)
 		os.Exit(1)
 	}
-	runErr := run(*in, *out, *method, *threshold, *verify)
+	runErr := run(*in, *out, *method, *threshold, mode, *verify)
 	if runErr != nil {
 		fmt.Fprintln(os.Stderr, "tracereduce:", runErr)
 	}
@@ -66,7 +78,7 @@ func main() {
 	}
 }
 
-func run(in, out, method string, threshold float64, verify bool) error {
+func run(in, out, method string, threshold float64, mode tracered.MatchMode, verify bool) error {
 	m, err := tracered.NewMethod(method, threshold)
 	if err != nil {
 		return err
@@ -80,7 +92,7 @@ func run(in, out, method string, threshold float64, verify bool) error {
 		f.Close()
 		return fmt.Errorf("reading trace: %w", err)
 	}
-	red, err := tracered.ReduceStream(dec, m)
+	red, err := tracered.ReduceStreamMode(dec, m, mode)
 	f.Close()
 	if err != nil {
 		return err
@@ -93,8 +105,12 @@ func run(in, out, method string, threshold float64, verify bool) error {
 	}
 	fullBytes := st.Size()
 	redBytes := tracered.ReducedSize(red)
-	fmt.Printf("%s + %s(t=%g): %d -> %d bytes (%.2f%%), degree of matching %.3f, %d stored segments\n",
-		red.Name, method, threshold, fullBytes, redBytes,
+	modeNote := ""
+	if mode != tracered.MatchModeExact {
+		modeNote = fmt.Sprintf(" [%s match]", mode)
+	}
+	fmt.Printf("%s + %s(t=%g)%s: %d -> %d bytes (%.2f%%), degree of matching %.3f, %d stored segments\n",
+		red.Name, method, threshold, modeNote, fullBytes, redBytes,
 		100*float64(redBytes)/float64(fullBytes), red.DegreeOfMatching(), red.StoredSegments())
 
 	if out != "" {

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"repro/internal/segment"
+)
+
+// LSH parameters. Each class keeps lshTables independent hash tables of
+// lshBits-bit random-hyperplane signatures over the prepared wavelet
+// transform vectors. A candidate scans only the representatives that
+// share a full signature with it in at least one table, so the expected
+// scan cost is the hashing work (lshTables × lshBits dot products) plus
+// a handful of verified near neighbours, independent of class size.
+//
+// Two transforms within the match threshold of each other subtend a
+// small angle, so each hyperplane separates them with low probability;
+// with 8-bit signatures and 4 tables the measured recall of
+// within-threshold neighbours on random stamp vectors stays above 90%
+// (lsh_test.go pins a floor). A missed match stores a duplicate
+// representative — the reduction stays valid, just slightly larger —
+// which is the score loss the eval grid's mode dimension quantifies.
+const (
+	lshTables = 4
+	lshBits   = 8
+	// lshSeed fixes the hyperplane stream so reductions are reproducible
+	// across runs and platforms.
+	lshSeed = 0x5ca1ab1e0ddba11
+)
+
+// splitmix64 advances the SplitMix64 generator state and returns the
+// next value; the standard parameterization (Steele et al.).
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// lshPlanes returns the lshTables×lshBits hyperplanes for dimension dim,
+// components uniform in [-1, 1), generated deterministically from
+// lshSeed. Signature hashing only uses the sign of a dot product, so the
+// uniform components serve as well as Gaussians and avoid transcendental
+// math that could differ across platforms.
+func lshPlanes(dim int) [][]float64 {
+	planes := make([][]float64, lshTables*lshBits)
+	state := uint64(lshSeed)
+	for i := range planes {
+		p := make([]float64, dim)
+		for d := range p {
+			p[d] = float64(splitmix64(&state))/(1<<63) - 1
+		}
+		planes[i] = p
+	}
+	return planes
+}
+
+// lshIndex is the IndexedClass for the wavelet policies: bucketed
+// random-hyperplane signatures over the prepared transform vectors.
+type lshIndex struct {
+	cls     *Class
+	bound   func(candMaxAbs, repMaxAbs float64) float64
+	dist    func(a, b []float64) float64
+	repVec  func(cls *Class, i int) ([]float64, float64)
+	candVec func(cand *segment.Segment, cs RepState) ([]float64, float64)
+
+	dim     int // transform length, fixed per class; 0 until first Add
+	planes  [][]float64
+	buckets [lshTables]map[uint16][]int32
+	// center is the first representative's vector. Signatures hash the
+	// offset from it, not the raw vector: class members share large
+	// common components (the wavelet DC coefficient above all), and raw
+	// dot products are dominated by that shared part, pushing every
+	// member to the same side of most hyperplanes — one giant bucket.
+	// Offsets from a fixed member cancel the common structure, so signs
+	// spread by what actually differs; nearby vectors still land in the
+	// same bucket because their offsets are nearly equal.
+	center []float64
+
+	scratch []int32   // reusable candidate-collection buffer
+	cvec    []float64 // reusable centered-vector buffer
+	seen    []uint32  // per-representative visit epoch, for sort-free dedup
+	epoch   uint32
+}
+
+// signature computes the table-th hash code of an already-centered
+// vector (vec minus the class center).
+func (x *lshIndex) signature(table int, centered []float64) uint16 {
+	var code uint16
+	base := table * lshBits
+	for b := 0; b < lshBits; b++ {
+		p := x.planes[base+b]
+		var dot float64
+		for d, v := range centered {
+			dot += v * p[d]
+		}
+		if dot >= 0 {
+			code |= 1 << b
+		}
+	}
+	return code
+}
+
+// centered writes vec minus the class center into the reusable buffer.
+func (x *lshIndex) centered(vec []float64) []float64 {
+	if cap(x.cvec) < len(vec) {
+		x.cvec = make([]float64, len(vec))
+	}
+	c := x.cvec[:len(vec)]
+	for d, v := range vec {
+		c[d] = v - x.center[d]
+	}
+	return c
+}
+
+// Add indexes the class's i-th representative in every table. All
+// members of a comparability class share one event count and therefore
+// one padded transform length, so the hyperplanes are sized lazily from
+// the first representative.
+func (x *lshIndex) Add(i int) {
+	vec, _ := x.repVec(x.cls, i)
+	if x.planes == nil {
+		x.dim = len(vec)
+		x.planes = lshPlanes(x.dim)
+		x.center = vec // first representative; stable across the class's life
+		for t := range x.buckets {
+			x.buckets[t] = make(map[uint16][]int32)
+		}
+	}
+	cvec := x.centered(vec)
+	for t := range x.buckets {
+		code := x.signature(t, cvec)
+		x.buckets[t][code] = append(x.buckets[t][code], int32(i))
+	}
+}
+
+// Search hashes the candidate, collects the union of its buckets across
+// all tables, and verifies each surfaced representative once with the
+// exact acceptance test, keeping the lowest matching index — so among
+// the representatives LSH surfaces, the returned match is the true first
+// match. Returns -1 when no surfaced representative matches (either none
+// exists, or hashing missed it). Dedup uses a per-representative epoch
+// array rather than sorting: skewed buckets can surface the same
+// representative from all four tables, and sorting the raw union was the
+// dominant scan cost.
+func (x *lshIndex) Search(cand *segment.Segment, cs RepState) int {
+	if x.planes == nil {
+		return -1
+	}
+	vec, candMaxAbs := x.candVec(cand, cs)
+	// The class center is representative 0's vector, so a candidate
+	// matching representative 0 has a near-zero offset whose hyperplane
+	// signs are noise — hashing would miss it systematically. Stored
+	// representatives are mutually non-matching, so representative 0 is
+	// the only one a near-zero offset can match: verify it directly.
+	// It is also the lowest index, so a hit here is the first match.
+	{
+		rvec, rmax := x.repVec(x.cls, 0)
+		if x.dist(vec, rvec) <= x.bound(candMaxAbs, rmax) {
+			return 0
+		}
+	}
+	cvec := x.centered(vec)
+	found := x.scratch[:0]
+	for t := range x.buckets {
+		found = append(found, x.buckets[t][x.signature(t, cvec)]...)
+	}
+	x.scratch = found
+	if len(found) == 0 {
+		return -1
+	}
+	if n := x.cls.Len(); len(x.seen) < n {
+		grown := make([]uint32, 2*n)
+		copy(grown, x.seen)
+		x.seen = grown
+	}
+	x.epoch++
+	if x.epoch == 0 { // wrapped: stale marks would alias the new epoch
+		clear(x.seen)
+		x.epoch = 1
+	}
+	best := int32(-1)
+	for _, i := range found {
+		if x.seen[i] == x.epoch || (best >= 0 && i >= best) {
+			continue
+		}
+		x.seen[i] = x.epoch
+		rvec, rmax := x.repVec(x.cls, int(i))
+		if x.dist(vec, rvec) <= x.bound(candMaxAbs, rmax) {
+			best = i
+		}
+	}
+	return int(best)
+}
+
+// Rebuild re-hashes every representative (after in-place state
+// mutation; the wavelet policies never mutate, so this is a cold path).
+func (x *lshIndex) Rebuild() {
+	x.planes = nil
+	x.dim = 0
+	x.center = nil
+	for i, n := 0, x.cls.Len(); i < n; i++ {
+		x.Add(i)
+	}
+}

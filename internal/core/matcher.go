@@ -22,6 +22,10 @@ type Class struct {
 	segs   []*segment.Segment
 	states []RepState
 	ids    []int
+	// index is the class's sublinear search structure under an
+	// approximate MatchMode, nil in exact mode and for policies with no
+	// index for the active mode (which keep the linear scan).
+	index IndexedClass
 }
 
 // Len returns the number of representatives in the class.
@@ -55,31 +59,79 @@ func (c *Class) add(rep *segment.Segment, id int, state RepState) {
 // norms, max-abs values — is computed once at storage time rather than
 // on every scan.
 //
+// Under an approximate MatchMode the matcher additionally attaches a
+// sublinear IndexedClass (VP-tree or LSH buckets) to every class whose
+// policy supports the mode, and Scan searches the index instead of
+// running the policy's linear Match.
+//
 // A Matcher indexes one rank's representatives and is not safe for
 // concurrent use; the engine runs one per RankReducer.
 type Matcher struct {
 	policy Policy
+	mode   MatchMode
+	// indexer is the policy's ApproxIndexer when the mode is approximate
+	// and the policy supports indexing at all; nil otherwise.
+	indexer ApproxIndexer
 	// buckets maps a signature to its comparability classes in creation
 	// order. Almost every bucket holds exactly one class; extras appear
 	// only on signature collisions between non-comparable segments.
 	buckets map[segment.Signature][]*Class
 }
 
-// NewMatcher returns an empty matcher for policy p.
-func NewMatcher(p Policy) *Matcher {
-	return &Matcher{policy: p, buckets: map[segment.Signature][]*Class{}}
+// indexMinClassSize is the class size below which approximate modes
+// keep the exact linear scan and the class's index stays empty. Small
+// classes dominate the study workloads, and for them the index's fixed
+// costs — LSH's per-class hyperplane set above all — exceed the scan
+// they replace; the sublinear structures only pay once a class is big
+// enough for asymptotics to matter. Crossing the threshold bulk-indexes
+// the representatives accumulated so far (IndexedClass.Rebuild).
+//
+// Correctness is unaffected: the exact scan is decision-identical to
+// the VP-tree by the tree's guarantee, and strictly stronger than LSH
+// (which may only miss), so gating can only improve approximate-mode
+// results.
+const indexMinClassSize = 32
+
+// NewMatcher returns an empty exact-mode matcher for policy p.
+func NewMatcher(p Policy) *Matcher { return NewMatcherMode(p, MatchModeExact) }
+
+// NewMatcherMode returns an empty matcher for policy p searching classes
+// under the given MatchMode. Modes the policy has no index for degrade
+// to the exact scan per class, so any mode is valid for any policy.
+func NewMatcherMode(p Policy, mode MatchMode) *Matcher {
+	m := &Matcher{policy: p, mode: mode, buckets: map[segment.Signature][]*Class{}}
+	if mode != MatchModeExact {
+		if ix, ok := p.(ApproxIndexer); ok {
+			m.indexer = ix
+		}
+	}
+	return m
 }
 
-// Scan locates cand's comparability class and asks the policy for the
-// first matching representative. cls is nil when cand has no comparable
-// predecessor (a new pattern class); idx is -1 when the class exists but
-// no stored representative matches. cs is the candidate's prepared
-// state, computed once per scanned segment and reusable by Insert when
-// the candidate is kept.
+// Mode returns the matcher's match mode.
+func (m *Matcher) Mode() MatchMode { return m.mode }
+
+// Scan locates cand's comparability class and searches it — through the
+// class's sublinear index in approximate modes, through the policy's
+// first-match scan otherwise — for a matching representative. cls is nil
+// when cand has no comparable predecessor (a new pattern class); idx is
+// -1 when the class exists but no stored representative matches. cs is
+// the candidate's prepared state, computed once per scanned segment and
+// reusable by Insert when the candidate is kept; the empty-bucket
+// short-circuit returns before any Prepare work, so candidates of a new
+// signature (the common case on irregular workloads) cost one hash
+// lookup, and the kept clone is prepared at insertion instead.
 func (m *Matcher) Scan(cand *segment.Segment) (cls *Class, idx int, cs RepState) {
-	for _, c := range m.buckets[cand.Sig()] {
+	classes := m.buckets[cand.Sig()]
+	if len(classes) == 0 {
+		return nil, -1, nil
+	}
+	for _, c := range classes {
 		if c.proto.Comparable(cand) {
 			cs = m.policy.Prepare(cand)
+			if c.index != nil && c.Len() >= indexMinClassSize {
+				return c, c.index.Search(cand, cs), cs
+			}
 			return c, m.policy.Match(c, cand, cs), cs
 		}
 	}
@@ -99,10 +151,23 @@ func (m *Matcher) Insert(cls *Class, rep *segment.Segment, id int, cs RepState) 
 	}
 	if cls == nil {
 		cls = &Class{proto: rep}
+		if m.indexer != nil {
+			cls.index = m.indexer.NewClassIndex(m.mode, cls)
+		}
 		sig := rep.Sig()
 		m.buckets[sig] = append(m.buckets[sig], cls)
 	}
 	cls.add(rep, id, cs)
+	if cls.index != nil {
+		switch n := cls.Len(); {
+		case n < indexMinClassSize:
+			// Small class: the exact scan serves it, the index stays empty.
+		case n == indexMinClassSize:
+			cls.index.Rebuild() // bulk-index the accumulated representatives
+		default:
+			cls.index.Add(n - 1)
+		}
+	}
 }
 
 // Absorb folds cand into the class's i-th representative via the policy
@@ -112,5 +177,8 @@ func (m *Matcher) Insert(cls *Class, rep *segment.Segment, id int, cs RepState) 
 func (m *Matcher) Absorb(cls *Class, i int, cand *segment.Segment) {
 	if m.policy.Absorb(cls.segs[i], cand) {
 		cls.states[i] = m.policy.Prepare(cls.segs[i])
+		if cls.index != nil && cls.Len() >= indexMinClassSize {
+			cls.index.Rebuild()
+		}
 	}
 }

@@ -1,0 +1,233 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestParseMatchModeRoundTrip(t *testing.T) {
+	for i, name := range MatchModeNames {
+		m, err := ParseMatchMode(name)
+		if err != nil {
+			t.Fatalf("ParseMatchMode(%q): %v", name, err)
+		}
+		if m != MatchMode(i) || m.String() != name {
+			t.Fatalf("ParseMatchMode(%q) = %v (String %q)", name, m, m.String())
+		}
+	}
+	if _, err := ParseMatchMode("bogus"); err == nil {
+		t.Fatal("ParseMatchMode(bogus) did not fail")
+	}
+	if s := MatchMode(200).String(); s != "MatchMode(200)" {
+		t.Fatalf("out-of-range String = %q", s)
+	}
+}
+
+// TestIndexKind pins which search structure each method gets per mode —
+// the dispatch table README and the benchmarks rely on.
+func TestIndexKind(t *testing.T) {
+	euclidean := NewEuclidean(0.2)
+	cheb := NewChebyshev(0.2)
+	wave := NewAvgWave(0.2)
+	abs := NewAbsDiff(1000)
+	rel := NewRelDiff(0.2)
+	iterAvgP := NewIterAvg()
+	cases := []struct {
+		p    Policy
+		mode MatchMode
+		want string
+	}{
+		{euclidean, MatchModeExact, "scan"},
+		{euclidean, MatchModeVPTree, "vptree"},
+		{euclidean, MatchModeLSH, "scan"},
+		{euclidean, MatchModeAuto, "vptree"},
+		// Chebyshev and absDiff build a VP-tree only on explicit request:
+		// auto keeps the exact scan, which BENCH_matcher.json shows is
+		// faster for both (concentrated max-distances / early-exit test).
+		{cheb, MatchModeVPTree, "vptree"},
+		{cheb, MatchModeAuto, "scan"},
+		{abs, MatchModeVPTree, "vptree"},
+		{abs, MatchModeLSH, "scan"},
+		{abs, MatchModeAuto, "scan"},
+		{wave, MatchModeExact, "scan"},
+		{wave, MatchModeVPTree, "vptree"},
+		{wave, MatchModeLSH, "lsh"},
+		{wave, MatchModeAuto, "lsh"},
+		{rel, MatchModeVPTree, "scan"},
+		{rel, MatchModeLSH, "scan"},
+		{rel, MatchModeAuto, "scan"},
+		{iterAvgP, MatchModeAuto, "scan"},
+	}
+	for _, tc := range cases {
+		if got := IndexKind(tc.p, tc.mode); got != tc.want {
+			t.Errorf("IndexKind(%s, %s) = %q, want %q", tc.p.Name(), tc.mode, got, tc.want)
+		}
+	}
+}
+
+// modeMethods are the pairwise methods with at least one supported
+// approximate index, with representative thresholds.
+var modeMethods = []struct {
+	name string
+	mk   func() Policy
+}{
+	{"absDiff", func() Policy { return NewAbsDiff(1000) }},
+	{"manhattan", func() Policy { return NewManhattan(0.4) }},
+	{"euclidean", func() Policy { return NewEuclidean(0.2) }},
+	{"chebyshev", func() Policy { return NewChebyshev(0.2) }},
+	{"minkowski3", func() Policy { p, _ := NewMinkowski(3, 0.2); return p }},
+	{"avgWave", func() Policy { return NewAvgWave(0.2) }},
+	{"haarWave", func() Policy { return NewHaarWave(0.2) }},
+}
+
+func runMode(mk func() Policy, mode MatchMode, n int) (*RankReducer, RankReduced) {
+	rr := NewRankReducerMode(0, mk(), mode)
+	for _, s := range genSegments(n) {
+		rr.Feed(s.Clone())
+	}
+	return rr, rr.Finish()
+}
+
+// TestVPTreeModeMatchesExactDecisions holds MatchModeVPTree to the
+// documented guarantee: the tree search finds a match exactly when the
+// exact scan does, so the kept representatives, the execution start
+// times, and all three counters are identical to exact mode — only which
+// representative an execution references may differ.
+func TestVPTreeModeMatchesExactDecisions(t *testing.T) {
+	for _, m := range modeMethods {
+		m := m
+		t.Run(m.name, func(t *testing.T) {
+			exRed, exOut := runMode(m.mk, MatchModeExact, 3000)
+			vpRed, vpOut := runMode(m.mk, MatchModeVPTree, 3000)
+			if len(vpOut.Stored) != len(exOut.Stored) {
+				t.Fatalf("stored %d, exact stored %d", len(vpOut.Stored), len(exOut.Stored))
+			}
+			for i := range exOut.Stored {
+				if !exOut.Stored[i].Comparable(vpOut.Stored[i]) || exOut.Stored[i].End != vpOut.Stored[i].End {
+					t.Fatalf("stored %d differs from exact mode", i)
+				}
+			}
+			if len(vpOut.Execs) != len(exOut.Execs) {
+				t.Fatalf("execs %d, exact %d", len(vpOut.Execs), len(exOut.Execs))
+			}
+			for i := range exOut.Execs {
+				if vpOut.Execs[i].Start != exOut.Execs[i].Start {
+					t.Fatalf("exec %d start %d, exact %d", i, vpOut.Execs[i].Start, exOut.Execs[i].Start)
+				}
+				if id := vpOut.Execs[i].ID; id < 0 || id >= len(vpOut.Stored) {
+					t.Fatalf("exec %d references stored %d of %d", i, id, len(vpOut.Stored))
+				}
+			}
+			if vpRed.TotalSegments() != exRed.TotalSegments() ||
+				vpRed.Matches() != exRed.Matches() ||
+				vpRed.PossibleMatches() != exRed.PossibleMatches() {
+				t.Fatalf("counters (%d,%d,%d), exact (%d,%d,%d)",
+					vpRed.TotalSegments(), vpRed.Matches(), vpRed.PossibleMatches(),
+					exRed.TotalSegments(), exRed.Matches(), exRed.PossibleMatches())
+			}
+		})
+	}
+}
+
+// TestLSHModeOnlyWeakens holds MatchModeLSH to its guarantee: hashing
+// can miss matches but never invent them, so the reduction stores at
+// least as many representatives and matches at most as many segments as
+// exact mode — and on realistic streams recall stays high.
+func TestLSHModeOnlyWeakens(t *testing.T) {
+	for _, name := range []string{"avgWave", "haarWave"} {
+		name := name
+		mk := func() Policy {
+			if name == "avgWave" {
+				return NewAvgWave(0.2)
+			}
+			return NewHaarWave(0.2)
+		}
+		t.Run(name, func(t *testing.T) {
+			exRed, exOut := runMode(mk, MatchModeExact, 3000)
+			lsRed, lsOut := runMode(mk, MatchModeLSH, 3000)
+			if lsRed.TotalSegments() != exRed.TotalSegments() {
+				t.Fatalf("total %d, exact %d", lsRed.TotalSegments(), exRed.TotalSegments())
+			}
+			if lsRed.PossibleMatches() != exRed.PossibleMatches() {
+				t.Fatalf("possible %d, exact %d (class structure must not change)",
+					lsRed.PossibleMatches(), exRed.PossibleMatches())
+			}
+			if lsRed.Matches() > exRed.Matches() {
+				t.Fatalf("matches %d exceeds exact %d", lsRed.Matches(), exRed.Matches())
+			}
+			if len(lsOut.Stored) < len(exOut.Stored) {
+				t.Fatalf("stored %d below exact %d", len(lsOut.Stored), len(exOut.Stored))
+			}
+			if len(lsOut.Execs) != len(exOut.Execs) {
+				t.Fatalf("execs %d, exact %d", len(lsOut.Execs), len(exOut.Execs))
+			}
+			if exRed.Matches() > 0 {
+				recall := float64(lsRed.Matches()) / float64(exRed.Matches())
+				if recall < 0.85 {
+					t.Fatalf("stream recall %.3f, want >= 0.85", recall)
+				}
+				t.Logf("stream recall: %.3f (%d/%d matches)", recall, lsRed.Matches(), exRed.Matches())
+			}
+		})
+	}
+}
+
+// TestUnsupportedModeFallsBackExact requires policies with no index for
+// a mode to produce byte-identical output to exact mode under it.
+func TestUnsupportedModeFallsBackExact(t *testing.T) {
+	cases := []struct {
+		name string
+		mk   func() Policy
+		mode MatchMode
+	}{
+		{"relDiff/vptree", func() Policy { return NewRelDiff(0.2) }, MatchModeVPTree},
+		{"relDiff/auto", func() Policy { return NewRelDiff(0.2) }, MatchModeAuto},
+		{"iter_k/auto", func() Policy { p, _ := NewIterK(10); return p }, MatchModeAuto},
+		{"iter_avg/lsh", func() Policy { return NewIterAvg() }, MatchModeLSH},
+		{"sample_n/vptree", func() Policy { p, _ := NewSampleN(3); return p }, MatchModeVPTree},
+		{"euclidean/lsh", func() Policy { return NewEuclidean(0.2) }, MatchModeLSH},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			_, exOut := runMode(tc.mk, MatchModeExact, 2000)
+			_, out := runMode(tc.mk, tc.mode, 2000)
+			if len(out.Stored) != len(exOut.Stored) || len(out.Execs) != len(exOut.Execs) {
+				t.Fatalf("shape differs: stored %d/%d execs %d/%d",
+					len(out.Stored), len(exOut.Stored), len(out.Execs), len(exOut.Execs))
+			}
+			for i := range exOut.Execs {
+				if out.Execs[i] != exOut.Execs[i] {
+					t.Fatalf("exec %d: %+v vs exact %+v", i, out.Execs[i], exOut.Execs[i])
+				}
+			}
+		})
+	}
+}
+
+// TestAutoModePicksDocumentedIndex: auto must behave exactly like vptree
+// for the metric family and exactly like lsh for the wavelets.
+func TestAutoModePicksDocumentedIndex(t *testing.T) {
+	type pick struct {
+		name string
+		mk   func() Policy
+		same MatchMode
+	}
+	for _, tc := range []pick{
+		{"euclidean", func() Policy { return NewEuclidean(0.2) }, MatchModeVPTree},
+		{"avgWave", func() Policy { return NewAvgWave(0.2) }, MatchModeLSH},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			_, want := runMode(tc.mk, tc.same, 2000)
+			_, got := runMode(tc.mk, MatchModeAuto, 2000)
+			if len(got.Stored) != len(want.Stored) || len(got.Execs) != len(want.Execs) {
+				t.Fatalf("auto shape differs from %v", tc.same)
+			}
+			for i := range want.Execs {
+				if got.Execs[i] != want.Execs[i] {
+					t.Fatalf("exec %d: auto %+v vs %v %+v", i, got.Execs[i], tc.same, want.Execs[i])
+				}
+			}
+		})
+	}
+}

@@ -82,6 +82,41 @@ func maxAbsOf(v []float64) float64 {
 	return m
 }
 
+// measRepVec and measCandVec extract the vector and max-abs the
+// measurement-space policies (absDiff, Minkowski family) match on, for
+// the approximate indexes.
+func measRepVec(cls *Class, i int) ([]float64, float64) {
+	return cls.Rep(i).Meas(), cls.State(i).(*measState).maxAbs
+}
+
+func measCandVec(cand *segment.Segment, cs RepState) ([]float64, float64) {
+	return cand.Meas(), cs.(*measState).maxAbs
+}
+
+// waveRepVec and waveCandVec extract the prepared transform the wavelet
+// policies match on.
+func waveRepVec(cls *Class, i int) ([]float64, float64) {
+	st := cls.State(i).(*waveState)
+	return st.tr, st.maxAbs
+}
+
+func waveCandVec(_ *segment.Segment, cs RepState) ([]float64, float64) {
+	st := cs.(*waveState)
+	return st.tr, st.maxAbs
+}
+
+// pairMaxBound returns the acceptance-radius function dist ≤ t ×
+// max(candMaxAbs, repMaxAbs) shared by the Minkowski and wavelet match
+// rules (paper Eq. 1).
+func pairMaxBound(t float64) func(candMaxAbs, repMaxAbs float64) float64 {
+	return func(candMaxAbs, repMaxAbs float64) float64 {
+		if repMaxAbs > candMaxAbs {
+			candMaxAbs = repMaxAbs
+		}
+		return t * candMaxAbs
+	}
+}
+
 // relDiff compares each paired measurement in isolation:
 // |a−b| / max(a, b) must not exceed the threshold (paper §3.2.1; the
 // worked example gives |17−40|/40 = 0.58). Two zero measurements are
@@ -164,6 +199,28 @@ func (p *absDiffPolicy) Match(cls *Class, cand *segment.Segment, cs RepState) in
 
 func (p *absDiffPolicy) Absorb(*segment.Segment, *segment.Segment) bool { return false }
 
+// NewClassIndex builds absDiff's VP-tree: the per-measurement absolute
+// test is exactly a Chebyshev-distance ball of fixed radius threshold,
+// so the metric query needs no per-pair radius at all. The tree is
+// opt-in only (not auto): the exact per-measurement test bails at the
+// first out-of-threshold component, so a linear scan is cheaper than
+// tree descent on this policy (BENCH_matcher.json records the gap).
+func (p *absDiffPolicy) NewClassIndex(mode MatchMode, cls *Class) IndexedClass {
+	if mode != MatchModeVPTree {
+		return nil
+	}
+	t := p.threshold
+	return &vpIndex{
+		cls: cls,
+		tree: newVPTree(
+			func(a, b []float64) float64 { return minkowskiDist(0, a, b) },
+			func(_, _ float64) float64 { return t },
+		),
+		repVec:  measRepVec,
+		candVec: measCandVec,
+	}
+}
+
 func absDiffMatch(t float64, va, vb []float64) bool {
 	for i := range va {
 		if math.Abs(va[i]-vb[i]) > t {
@@ -213,6 +270,32 @@ func (p *minkowskiPolicy) Match(cls *Class, cand *segment.Segment, cs RepState) 
 }
 
 func (p *minkowskiPolicy) Absorb(*segment.Segment, *segment.Segment) bool { return false }
+
+// NewClassIndex builds the Minkowski family's VP-tree over the raw
+// measurement vectors. Every order-m distance (m >= 1, plus the
+// Chebyshev limit) satisfies the triangle inequality, and the pairwise
+// acceptance radius t × max(maxAbs) is handled by the tree's
+// subtree-maximum pruning. Chebyshev (m = 0) gets the tree only on
+// explicit request, not auto: max-of-differences distances concentrate
+// in a narrow band (one large component dominates regardless of the
+// rest), so |d(cand, vp) − mu| rarely exceeds the acceptance radius and
+// the tree descends nearly everywhere while paying node overhead the
+// plain scan doesn't (BENCH_matcher.json records the gap).
+func (p *minkowskiPolicy) NewClassIndex(mode MatchMode, cls *Class) IndexedClass {
+	if mode != MatchModeVPTree && !(mode == MatchModeAuto && p.m != 0) {
+		return nil
+	}
+	m := p.m
+	return &vpIndex{
+		cls: cls,
+		tree: newVPTree(
+			func(a, b []float64) float64 { return minkowskiDist(m, a, b) },
+			pairMaxBound(p.threshold),
+		),
+		repVec:  measRepVec,
+		candVec: measCandVec,
+	}
+}
 
 // minkowskiDist accumulates the order-m distance exactly as the
 // pre-matcher engine did, so cached-state matching stays bit-identical.
@@ -335,6 +418,34 @@ func (p *wavePolicy) Match(cls *Class, cand *segment.Segment, cs RepState) int {
 }
 
 func (p *wavePolicy) Absorb(*segment.Segment, *segment.Segment) bool { return false }
+
+// NewClassIndex builds the wavelet policies' index: random-hyperplane
+// LSH buckets over the prepared transform vectors under MatchModeLSH
+// (and auto, where hashing beats tree descent because a scan then costs
+// no distance computations at all on clean misses), or a VP-tree under
+// MatchModeVPTree — Euclidean distance between transforms is a metric,
+// so the tree search loses no matches.
+func (p *wavePolicy) NewClassIndex(mode MatchMode, cls *Class) IndexedClass {
+	bound := pairMaxBound(p.threshold)
+	switch mode {
+	case MatchModeVPTree:
+		return &vpIndex{
+			cls:     cls,
+			tree:    newVPTree(wavelet.Euclidean, bound),
+			repVec:  waveRepVec,
+			candVec: waveCandVec,
+		}
+	case MatchModeLSH, MatchModeAuto:
+		return &lshIndex{
+			cls:     cls,
+			dist:    wavelet.Euclidean,
+			bound:   bound,
+			repVec:  waveRepVec,
+			candVec: waveCandVec,
+		}
+	}
+	return nil
+}
 
 // padStamps lays a measurement vector [end, stamps...] out as the
 // zero-padded stamp vector [0, stamps..., end, 0...] of length n.

@@ -31,10 +31,18 @@ type RankReducer struct {
 }
 
 // NewRankReducer returns a reducer for one rank's segment stream using
-// policy p.
+// policy p with the exact first-match scan.
 func NewRankReducer(rank int, p Policy) *RankReducer {
+	return NewRankReducerMode(rank, p, MatchModeExact)
+}
+
+// NewRankReducerMode returns a reducer for one rank's segment stream
+// using policy p under the given MatchMode; approximate modes search
+// each pattern class through a sublinear index where the policy
+// supports one (see MatchMode).
+func NewRankReducerMode(rank int, p Policy, mode MatchMode) *RankReducer {
 	return &RankReducer{
-		m:   NewMatcher(p),
+		m:   NewMatcherMode(p, mode),
 		out: RankReduced{Rank: rank},
 	}
 }

@@ -82,6 +82,14 @@ func (r *Reduced) StoredSegments() int {
 // concurrent use on distinct ranks' segments; every built-in policy is
 // stateless and qualifies.
 func Reduce(t *trace.Trace, p Policy) (*Reduced, error) {
+	return ReduceMode(t, p, MatchModeExact)
+}
+
+// ReduceMode is Reduce under an explicit MatchMode: MatchModeExact is
+// Reduce itself, the approximate modes search each pattern class
+// through a sublinear index where the policy supports one (see
+// MatchMode for the per-mode guarantees).
+func ReduceMode(t *trace.Trace, p Policy, mode MatchMode) (*Reduced, error) {
 	red := &Reduced{Name: t.Name, Method: p.Name(), Ranks: make([]RankReduced, len(t.Ranks))}
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(t.Ranks) {
@@ -91,7 +99,7 @@ func Reduce(t *trace.Trace, p Policy) (*Reduced, error) {
 	errs := make([]error, len(t.Ranks))
 	if workers <= 1 {
 		for i := range t.Ranks {
-			reducers[i], errs[i] = reduceRank(t, i, p)
+			reducers[i], errs[i] = reduceRank(t, i, p, mode)
 		}
 	} else {
 		var next atomic.Int64
@@ -105,7 +113,7 @@ func Reduce(t *trace.Trace, p Policy) (*Reduced, error) {
 					if i >= len(t.Ranks) {
 						return
 					}
-					reducers[i], errs[i] = reduceRank(t, i, p)
+					reducers[i], errs[i] = reduceRank(t, i, p, mode)
 				}
 			}()
 		}
@@ -127,8 +135,8 @@ func Reduce(t *trace.Trace, p Policy) (*Reduced, error) {
 // reduceRank streams rank i of t through a fused splitter + reducer.
 // RankReduced.Rank is the slice index, matching the historical batch
 // behaviour; the splitter reports errors under the rank's own ID.
-func reduceRank(t *trace.Trace, i int, p Policy) (*RankReducer, error) {
-	r := NewRankReducer(i, p)
+func reduceRank(t *trace.Trace, i int, p Policy, mode MatchMode) (*RankReducer, error) {
+	r := NewRankReducerMode(i, p, mode)
 	if err := r.FeedEvents(t.Ranks[i].Rank, t.Ranks[i].Events); err != nil {
 		return nil, fmt.Errorf("trace %q: %w", t.Name, err)
 	}
@@ -141,6 +149,12 @@ func reduceRank(t *trace.Trace, i int, p Policy) (*RankReducer, error) {
 // as the baseline the parallel engine is benchmarked against; library
 // users should call Reduce.
 func ReduceSequential(t *trace.Trace, p Policy) (*Reduced, error) {
+	return ReduceSequentialMode(t, p, MatchModeExact)
+}
+
+// ReduceSequentialMode is ReduceSequential under an explicit MatchMode,
+// the single-threaded reference for ReduceMode.
+func ReduceSequentialMode(t *trace.Trace, p Policy, mode MatchMode) (*Reduced, error) {
 	perRank, err := segment.SplitTrace(t)
 	if err != nil {
 		return nil, err
@@ -151,7 +165,7 @@ func ReduceSequential(t *trace.Trace, p Policy) (*Reduced, error) {
 		rr.Rank = rank
 		// One matcher per rank, mirroring the per-rank class index the
 		// incremental engine builds.
-		m := NewMatcher(p)
+		m := NewMatcherMode(p, mode)
 		for _, s := range segs {
 			red.TotalSegments++
 			cls, idx, cs := m.Scan(s)

@@ -22,6 +22,12 @@ import (
 // so an unsynchronized decoder is fine. Policies must be safe for
 // concurrent use on distinct ranks' segments, as with Reduce.
 func ReduceStream(name string, p Policy, next func() (*trace.RankTrace, error)) (*Reduced, error) {
+	return ReduceStreamMode(name, p, MatchModeExact, next)
+}
+
+// ReduceStreamMode is ReduceStream under an explicit MatchMode (see
+// MatchMode for the per-mode guarantees).
+func ReduceStreamMode(name string, p Policy, mode MatchMode, next func() (*trace.RankTrace, error)) (*Reduced, error) {
 	var (
 		srcMu    sync.Mutex // serializes next and the arrival counter
 		arrivals int
@@ -60,7 +66,7 @@ func ReduceStream(name string, p Policy, next func() (*trace.RankTrace, error)) 
 				if err != nil {
 					return
 				}
-				r := NewRankReducer(i, p)
+				r := NewRankReducerMode(i, p, mode)
 				if err := r.FeedEvents(rt.Rank, rt.Events); err != nil {
 					fail(fmt.Errorf("trace %q: %w", name, err))
 					return

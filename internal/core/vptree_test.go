@@ -1,0 +1,281 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// vpTestVectors builds n deterministic vectors of dimension dim in k
+// loose clusters, with max-abs spreads so the pairwise acceptance radius
+// varies across items — the shape that stresses both the subtree-maximum
+// radius and the triangle-inequality pruning.
+func vpTestVectors(n, dim, k int, spread float64) [][]float64 {
+	rng := &xorshift{s: 0xabcdef1234567891}
+	centers := make([][]float64, k)
+	for c := range centers {
+		v := make([]float64, dim)
+		for d := range v {
+			v[d] = float64(rng.next()%1000) + 10
+		}
+		centers[c] = v
+	}
+	out := make([][]float64, n)
+	for i := range out {
+		c := centers[rng.next()%uint64(k)]
+		v := make([]float64, dim)
+		for d := range v {
+			jitter := (float64(rng.next()%2000)/1000 - 1) * spread
+			v[d] = c[d] + jitter
+		}
+		out[i] = v
+	}
+	return out
+}
+
+func euclid(a, b []float64) float64 { return minkowskiDist(2, a, b) }
+
+// checkVPSubtree recursively verifies the structural invariants of a
+// subtree and returns (itemCount, subtreeMaxAbs, items seen).
+func checkVPSubtree(t *testing.T, tr *vpTree, ni int32, seen map[int32]bool) float64 {
+	t.Helper()
+	n := &tr.nodes[ni]
+	if seen[n.item] {
+		t.Fatalf("item %d indexed twice", n.item)
+	}
+	seen[n.item] = true
+	maxAbs := tr.maxAbs[n.item]
+	check := func(child int32, inner bool) {
+		if child < 0 {
+			return
+		}
+		m := checkVPSubtree(t, tr, child, seen)
+		if m > maxAbs {
+			maxAbs = m
+		}
+		// Every item of the child subtree must respect the split radius.
+		var walk func(int32)
+		walk = func(ci int32) {
+			if ci < 0 {
+				return
+			}
+			c := &tr.nodes[ci]
+			d := tr.dist(tr.vecs[n.item], tr.vecs[c.item])
+			if inner && d > n.mu {
+				t.Fatalf("inner item %d at distance %g > mu %g from vp %d", c.item, d, n.mu, n.item)
+			}
+			if !inner && d <= n.mu {
+				t.Fatalf("outer item %d at distance %g <= mu %g from vp %d", c.item, d, n.mu, n.item)
+			}
+			walk(c.inner)
+			walk(c.outer)
+		}
+		walk(child)
+	}
+	check(n.inner, true)
+	check(n.outer, false)
+	if n.subMaxAbs != maxAbs {
+		t.Fatalf("node for item %d: subMaxAbs %g, want %g", n.item, n.subMaxAbs, maxAbs)
+	}
+	return maxAbs
+}
+
+// TestVPTreeInvariants builds a tree incrementally and verifies, after
+// every insertion, that tree plus pending list partition the items and
+// that every node satisfies the VP-tree invariants: inner items within
+// mu of the vantage point, outer items beyond it, subtree max-abs exact.
+func TestVPTreeInvariants(t *testing.T) {
+	vecs := vpTestVectors(300, 6, 7, 40)
+	tr := newVPTree(euclid, pairMaxBound(0.2))
+	for i, v := range vecs {
+		tr.add(v, maxAbsOf(v))
+		if tr.size() != i+1 {
+			t.Fatalf("size %d after %d adds", tr.size(), i+1)
+		}
+	}
+	seen := map[int32]bool{}
+	if tr.root >= 0 {
+		checkVPSubtree(t, tr, tr.root, seen)
+	}
+	for _, it := range tr.pending {
+		if seen[it] {
+			t.Fatalf("item %d both in tree and pending", it)
+		}
+		seen[it] = true
+	}
+	if len(seen) != len(vecs) {
+		t.Fatalf("indexed %d of %d items", len(seen), len(vecs))
+	}
+	if 4*len(tr.pending) >= tr.size()+4 {
+		t.Fatalf("pending list too large: %d of %d", len(tr.pending), tr.size())
+	}
+}
+
+// TestVPTreeSearchParity holds the tree's triangle-inequality pruning to
+// the linear scan's decisions: over clustered vectors whose distances
+// straddle the acceptance bounds, a search must find a match exactly
+// when brute force finds one, and any returned item must itself pass the
+// acceptance test. Run at several thresholds so the ball radius crosses
+// the cluster spread from both sides.
+func TestVPTreeSearchParity(t *testing.T) {
+	vecs := vpTestVectors(400, 5, 11, 60)
+	queries := vpTestVectors(300, 5, 11, 90)
+	hits, misses := 0, 0
+	for _, threshold := range []float64{0.01, 0.05, 0.2, 0.8} {
+		bound := pairMaxBound(threshold)
+		tr := newVPTree(euclid, bound)
+		for _, v := range vecs {
+			tr.add(v, maxAbsOf(v))
+		}
+		for _, q := range queries {
+			qmax := maxAbsOf(q)
+			brute := -1
+			for i, v := range vecs {
+				if euclid(q, v) <= bound(qmax, maxAbsOf(v)) {
+					brute = i
+					break
+				}
+			}
+			got := tr.search(q, qmax)
+			if (got < 0) != (brute < 0) {
+				t.Fatalf("t=%g: search %d, brute force %d", threshold, got, brute)
+			}
+			if got >= 0 {
+				hits++
+				if d, b := euclid(q, vecs[got]), bound(qmax, maxAbsOf(vecs[got])); d > b {
+					t.Fatalf("t=%g: returned item %d at distance %g outside bound %g", threshold, got, d, b)
+				}
+			} else {
+				misses++
+			}
+		}
+	}
+	if hits == 0 || misses == 0 {
+		t.Fatalf("degenerate workload across thresholds: %d hits, %d misses", hits, misses)
+	}
+}
+
+// TestVPTreeBoundaryPruning pins the conservative margin: items placed
+// exactly on the acceptance boundary (distance == bound) must be found,
+// matching the linear scan's <= acceptance.
+func TestVPTreeBoundaryPruning(t *testing.T) {
+	const threshold = 0.25
+	bound := pairMaxBound(threshold)
+	base := []float64{100, 40, 60, 80}
+	tr := newVPTree(euclid, bound)
+	// Far decoys first so the boundary item sits deep in the tree.
+	for i := 0; i < 40; i++ {
+		v := append([]float64(nil), base...)
+		v[0] += 1e6 + float64(i)*1e5
+		tr.add(v, maxAbsOf(v))
+	}
+	// The boundary item: perturbing a non-maximal coordinate keeps both
+	// max-abs values at 100, so the acceptance bound is exactly
+	// threshold*100 = 25 and the Euclidean distance is exactly 25 too.
+	onEdge := append([]float64(nil), base...)
+	onEdge[1] += threshold * 100
+	tr.add(onEdge, maxAbsOf(onEdge))
+	got := tr.search(base, maxAbsOf(base))
+	d := euclid(base, onEdge)
+	b := bound(maxAbsOf(base), maxAbsOf(onEdge))
+	if d <= b && got < 0 {
+		t.Fatalf("boundary item within bound (%g <= %g) but search missed it", d, b)
+	}
+	if got >= 0 {
+		if dd, bb := euclid(base, tr.vecs[got]), bound(maxAbsOf(base), tr.maxAbs[got]); dd > bb {
+			t.Fatalf("search returned item outside bound: %g > %g", dd, bb)
+		}
+	}
+}
+
+// TestVPTreeSearchAllocFree verifies the pooled search stack: once the
+// tree is warm, searches allocate nothing.
+func TestVPTreeSearchAllocFree(t *testing.T) {
+	vecs := vpTestVectors(500, 6, 13, 50)
+	tr := newVPTree(euclid, pairMaxBound(0.1))
+	for _, v := range vecs {
+		tr.add(v, maxAbsOf(v))
+	}
+	queries := vpTestVectors(64, 6, 13, 70)
+	q := 0
+	tr.search(queries[0], maxAbsOf(queries[0])) // warm the stack
+	allocs := testing.AllocsPerRun(200, func() {
+		v := queries[q%len(queries)]
+		q++
+		tr.search(v, maxAbsOf(v))
+	})
+	if allocs != 0 {
+		t.Fatalf("vpTree.search allocates %.1f objects per search, want 0", allocs)
+	}
+}
+
+// TestVPTreeChebyshevFixedRadius exercises the absDiff configuration: a
+// fixed-radius Chebyshev ball, where pruning uses a constant bound.
+func TestVPTreeChebyshevFixedRadius(t *testing.T) {
+	vecs := vpTestVectors(300, 4, 9, 30)
+	queries := vpTestVectors(200, 4, 9, 45)
+	for _, radius := range []float64{5, 40, 200} {
+		cheb := func(a, b []float64) float64 { return minkowskiDist(0, a, b) }
+		tr := newVPTree(cheb, func(_, _ float64) float64 { return radius })
+		for _, v := range vecs {
+			tr.add(v, maxAbsOf(v))
+		}
+		for _, q := range queries {
+			brute := false
+			for _, v := range vecs {
+				if cheb(q, v) <= radius {
+					brute = true
+					break
+				}
+			}
+			got := tr.search(q, maxAbsOf(q))
+			if (got >= 0) != brute {
+				t.Fatalf("radius %g: search %d, brute force %v", radius, got, brute)
+			}
+			if got >= 0 && cheb(q, vecs[got]) > radius {
+				t.Fatalf("radius %g: returned item outside ball", radius)
+			}
+		}
+	}
+}
+
+// TestVPTreeNearFirstOrder checks the traversal bias: when the earliest
+// item matches, the search should return it (exact first-match on this
+// easy layout), keeping approximate reductions close to the paper's
+// first-match semantics.
+func TestVPTreeNearFirstOrder(t *testing.T) {
+	bound := pairMaxBound(0.5)
+	tr := newVPTree(euclid, bound)
+	base := []float64{50, 20, 30}
+	for i := 0; i < 100; i++ {
+		v := append([]float64(nil), base...)
+		v[1] += float64(i % 3) // several items all match any near-base query
+		tr.add(v, maxAbsOf(v))
+	}
+	got := tr.search(base, maxAbsOf(base))
+	if got != 0 {
+		t.Fatalf("search returned item %d, want the earliest matching item 0", got)
+	}
+}
+
+// TestVPTreeDegenerateEqualDistances covers the all-equal-distance
+// split: every remaining item lands in the inner child, the recursion
+// must still terminate and searches still work.
+func TestVPTreeDegenerateEqualDistances(t *testing.T) {
+	tr := newVPTree(euclid, func(_, _ float64) float64 { return 0.5 })
+	// Items on a regular grid all at equal Chebyshev... use duplicates:
+	// identical vectors give zero distances everywhere.
+	v := []float64{10, 20, 30}
+	for i := 0; i < 65; i++ {
+		tr.add(v, maxAbsOf(v))
+	}
+	if got := tr.search(v, maxAbsOf(v)); got != 0 {
+		t.Fatalf("search over duplicates returned %d, want 0", got)
+	}
+	far := []float64{1e6, 1e6, 1e6}
+	if got := tr.search(far, maxAbsOf(far)); got != -1 {
+		t.Fatalf("search for distant query returned %d, want -1", got)
+	}
+	if math.IsNaN(tr.nodes[0].mu) {
+		t.Fatal("mu is NaN")
+	}
+}

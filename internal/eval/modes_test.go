@@ -1,0 +1,127 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// smokeWorkloads is the reduced eval-grid slice the CI approximate-mode
+// smoke runs on: one regular benchmark and one interference benchmark.
+var smokeWorkloads = []string{"late_sender", "late_receiver"}
+
+// TestApproxModeSmoke is the approximate-mode acceptance gate: over a
+// reduced eval-grid slice it holds both approximate modes to their
+// documented score bounds.
+//
+//   - vptree: match decisions are exact, so the stored-segment count,
+//     degree of matching, and reduced byte size must equal exact mode.
+//   - lsh: misses only duplicate representatives, so the degree may drop
+//     but never rise, size may grow but never shrink, and the loss must
+//     stay under the documented bound (0.05 absolute degree).
+func TestApproxModeSmoke(t *testing.T) {
+	r := NewRunner()
+	methods := []string{"euclidean", "chebyshev", "avgWave", "haarWave"}
+	const lshDegreeLossBound = 0.05
+	for _, w := range smokeWorkloads {
+		for _, m := range methods {
+			exact, err := r.Run(DefaultCell(w, m))
+			if err != nil {
+				t.Fatalf("%s/%s exact: %v", w, m, err)
+			}
+			vp, err := r.Run(DefaultCell(w, m).WithMode(core.MatchModeVPTree))
+			if err != nil {
+				t.Fatalf("%s/%s vptree: %v", w, m, err)
+			}
+			if vp.StoredSegments != exact.StoredSegments ||
+				vp.Degree != exact.Degree ||
+				vp.ReducedBytes != exact.ReducedBytes {
+				t.Errorf("%s/%s vptree diverged from exact: stored %d/%d degree %.4f/%.4f bytes %d/%d",
+					w, m, vp.StoredSegments, exact.StoredSegments,
+					vp.Degree, exact.Degree, vp.ReducedBytes, exact.ReducedBytes)
+			}
+			if core.IndexKind(mustMethod(t, m), core.MatchModeLSH) != "lsh" {
+				continue // lsh applies to the wavelet methods only
+			}
+			lsh, err := r.Run(DefaultCell(w, m).WithMode(core.MatchModeLSH))
+			if err != nil {
+				t.Fatalf("%s/%s lsh: %v", w, m, err)
+			}
+			if lsh.Degree > exact.Degree {
+				t.Errorf("%s/%s lsh degree %.4f exceeds exact %.4f", w, m, lsh.Degree, exact.Degree)
+			}
+			if lsh.StoredSegments < exact.StoredSegments {
+				t.Errorf("%s/%s lsh stored %d below exact %d", w, m, lsh.StoredSegments, exact.StoredSegments)
+			}
+			if loss := exact.Degree - lsh.Degree; loss > lshDegreeLossBound {
+				t.Errorf("%s/%s lsh degree loss %.4f exceeds bound %.2f", w, m, loss, lshDegreeLossBound)
+			}
+		}
+	}
+}
+
+func mustMethod(t *testing.T, name string) core.Policy {
+	t.Helper()
+	p, err := core.NewMethod(name, core.DefaultThresholds[name])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestModeCellBuilders pins the shape of the mode-study grids and the
+// back-compat of the zero Mode.
+func TestModeCellBuilders(t *testing.T) {
+	modes := []core.MatchMode{core.MatchModeExact, core.MatchModeVPTree, core.MatchModeLSH}
+	cells := ModeCells([]string{"a", "b"}, []string{"m1", "m2"}, modes)
+	if len(cells) != 12 {
+		t.Fatalf("ModeCells = %d cells, want 12", len(cells))
+	}
+	if cells[0].Mode != core.MatchModeExact || cells[len(cells)-1].Mode != core.MatchModeLSH {
+		t.Errorf("ModeCells mode ordering wrong: first %v last %v", cells[0].Mode, cells[len(cells)-1].Mode)
+	}
+	if c := DefaultCell("w", "m"); c.Mode != core.MatchModeExact {
+		t.Errorf("DefaultCell mode = %v, want exact", c.Mode)
+	}
+	exactStudy := StudyCells()
+	vpStudy := StudyCellsMode(core.MatchModeVPTree)
+	if len(vpStudy) != len(exactStudy) {
+		t.Fatalf("StudyCellsMode = %d cells, StudyCells = %d", len(vpStudy), len(exactStudy))
+	}
+	for i := range vpStudy {
+		if vpStudy[i].Mode != core.MatchModeVPTree {
+			t.Fatalf("StudyCellsMode cell %d mode %v", i, vpStudy[i].Mode)
+		}
+		if vpStudy[i].WithMode(core.MatchModeExact) != exactStudy[i] {
+			t.Fatalf("StudyCellsMode cell %d diverges from StudyCells", i)
+		}
+	}
+}
+
+// TestFormatMatchModes runs the mode study on the smoke slice and checks
+// the rendered table carries the index kinds and a speedup column.
+func TestFormatMatchModes(t *testing.T) {
+	r := NewRunner()
+	methods := []string{"relDiff", "euclidean", "avgWave"}
+	modes := []core.MatchMode{core.MatchModeExact, core.MatchModeVPTree, core.MatchModeLSH}
+	results, err := r.RunGrid(ModeCells(smokeWorkloads[:1], methods, modes))
+	if err != nil {
+		t.Fatalf("RunGrid: %v", err)
+	}
+	for _, res := range results {
+		if res.ReduceNanos <= 0 {
+			t.Errorf("%s/%s/%s: ReduceNanos = %d, want > 0", res.Workload, res.Method, res.Mode, res.ReduceNanos)
+		}
+	}
+	out := FormatMatchModes(NewIndex(results), smokeWorkloads[:1], methods, modes)
+	for _, want := range []string{"speedup", "vptree", "lsh", "scan", "euclidean", "avgWave"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("FormatMatchModes output missing %q:\n%s", want, out)
+		}
+	}
+	// One row per method × mode.
+	if got, want := strings.Count(out, "\n"), 2+len(methods)*len(modes); got != want {
+		t.Errorf("FormatMatchModes rendered %d lines, want %d:\n%s", got, want, out)
+	}
+}

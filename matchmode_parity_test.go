@@ -1,0 +1,140 @@
+package repro
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/eval"
+)
+
+// TestMatchModeExactParity pins MatchModeExact byte-identical to the
+// plain matcher across all 20 workloads × 9 methods at default
+// thresholds: threading a mode through the engine must leave the
+// default path's encoded reductions and counters untouched.
+func TestMatchModeExactParity(t *testing.T) {
+	for _, workload := range eval.AllNames() {
+		workload := workload
+		t.Run(workload, func(t *testing.T) {
+			full := parityTrace(t, workload)
+			for _, method := range core.MethodNames {
+				pRef, err := core.DefaultMethod(method)
+				if err != nil {
+					t.Fatal(err)
+				}
+				pMode, err := core.DefaultMethod(method)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ref, err := core.Reduce(full, pRef)
+				if err != nil {
+					t.Fatalf("%s: Reduce: %v", method, err)
+				}
+				got, err := core.ReduceMode(full, pMode, core.MatchModeExact)
+				if err != nil {
+					t.Fatalf("%s: ReduceMode: %v", method, err)
+				}
+				if got.TotalSegments != ref.TotalSegments ||
+					got.Matches != ref.Matches ||
+					got.PossibleMatches != ref.PossibleMatches {
+					t.Fatalf("%s: counters (%d,%d,%d) vs (%d,%d,%d)", method,
+						got.TotalSegments, got.Matches, got.PossibleMatches,
+						ref.TotalSegments, ref.Matches, ref.PossibleMatches)
+				}
+				if !bytes.Equal(encodeReduced(t, got), encodeReduced(t, ref)) {
+					t.Fatalf("%s: exact-mode encoded reduction differs from Reduce", method)
+				}
+			}
+		})
+	}
+}
+
+// TestVPTreeModeGridParity holds the vptree matcher to its
+// match-decision-exact guarantee over the full grid: stored segment
+// counts, matching counters, and encoded reduced sizes must equal exact
+// mode for every workload × method (only which representative an
+// execution references may differ).
+func TestVPTreeModeGridParity(t *testing.T) {
+	for _, workload := range eval.AllNames() {
+		workload := workload
+		t.Run(workload, func(t *testing.T) {
+			full := parityTrace(t, workload)
+			for _, method := range core.MethodNames {
+				pRef, err := core.DefaultMethod(method)
+				if err != nil {
+					t.Fatal(err)
+				}
+				pVP, err := core.DefaultMethod(method)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ref, err := core.Reduce(full, pRef)
+				if err != nil {
+					t.Fatalf("%s: Reduce: %v", method, err)
+				}
+				vp, err := core.ReduceMode(full, pVP, core.MatchModeVPTree)
+				if err != nil {
+					t.Fatalf("%s: ReduceMode(vptree): %v", method, err)
+				}
+				if vp.TotalSegments != ref.TotalSegments ||
+					vp.Matches != ref.Matches ||
+					vp.PossibleMatches != ref.PossibleMatches ||
+					vp.StoredSegments() != ref.StoredSegments() {
+					t.Fatalf("%s: vptree (%d,%d,%d,%d) vs exact (%d,%d,%d,%d)", method,
+						vp.TotalSegments, vp.Matches, vp.PossibleMatches, vp.StoredSegments(),
+						ref.TotalSegments, ref.Matches, ref.PossibleMatches, ref.StoredSegments())
+				}
+				if got, want := core.EncodedReducedSize(vp), core.EncodedReducedSize(ref); got != want {
+					t.Fatalf("%s: vptree encoded size %d, exact %d", method, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestLSHModeGridInvariant holds the lsh matcher to its only-weakens
+// guarantee over the full grid: for every workload and wavelet method,
+// misses may add stored representatives but the counters stay
+// consistent and the match count never exceeds exact mode's.
+func TestLSHModeGridInvariant(t *testing.T) {
+	for _, workload := range eval.AllNames() {
+		workload := workload
+		t.Run(workload, func(t *testing.T) {
+			full := parityTrace(t, workload)
+			for _, method := range []string{"avgWave", "haarWave"} {
+				pRef, err := core.DefaultMethod(method)
+				if err != nil {
+					t.Fatal(err)
+				}
+				pLSH, err := core.DefaultMethod(method)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ref, err := core.Reduce(full, pRef)
+				if err != nil {
+					t.Fatalf("%s: Reduce: %v", method, err)
+				}
+				lsh, err := core.ReduceMode(full, pLSH, core.MatchModeLSH)
+				if err != nil {
+					t.Fatalf("%s: ReduceMode(lsh): %v", method, err)
+				}
+				if lsh.TotalSegments != ref.TotalSegments {
+					t.Fatalf("%s: total %d vs %d", method, lsh.TotalSegments, ref.TotalSegments)
+				}
+				if lsh.PossibleMatches != ref.PossibleMatches {
+					t.Fatalf("%s: possible %d vs %d", method, lsh.PossibleMatches, ref.PossibleMatches)
+				}
+				if lsh.Matches > ref.Matches {
+					t.Fatalf("%s: lsh matches %d exceed exact %d", method, lsh.Matches, ref.Matches)
+				}
+				if lsh.StoredSegments() < ref.StoredSegments() {
+					t.Fatalf("%s: lsh stored %d below exact %d", method, lsh.StoredSegments(), ref.StoredSegments())
+				}
+				if lsh.Matches+lsh.StoredSegments() != lsh.TotalSegments {
+					t.Fatalf("%s: matches %d + stored %d != total %d", method,
+						lsh.Matches, lsh.StoredSegments(), lsh.TotalSegments)
+				}
+			}
+		})
+	}
+}
