@@ -1,0 +1,153 @@
+// Codec benchmarks: the two container versions head to head on a
+// mid-size workload — encode, decode (v2 both sequential and
+// block-parallel per worker count), and the committed size ratio.
+// cmd/benchsnap -suite codec runs the fuller sweep and commits it as
+// BENCH_codec.json; these benchmarks are the `go test -bench` view of
+// the same comparison.
+package repro
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+// benchCodecTrace is the workload the codec benchmarks encode: enough
+// ranks for block-parallel decode to have work to spread.
+const benchCodecTrace = "sweep3d_32p"
+
+// seqReader hides ReaderAt/Seeker so a v2 decode takes the stream path.
+type seqReader struct{ io.Reader }
+
+func BenchmarkCodecEncode(b *testing.B) {
+	full, err := sharedRunner(b).Trace(benchCodecTrace)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("v1", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := trace.Encode(io.Discard, full); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("v2", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ReportMetric(float64(trace.EncodedSizeV2(full))/float64(trace.EncodedSize(full)), "size-ratio")
+		for i := 0; i < b.N; i++ {
+			if err := trace.EncodeV2(io.Discard, full); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkCodecDecode(b *testing.B) {
+	full, err := sharedRunner(b).Trace(benchCodecTrace)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var v1, v2 bytes.Buffer
+	if err := trace.Encode(&v1, full); err != nil {
+		b.Fatal(err)
+	}
+	if err := trace.EncodeV2(&v2, full); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("v1", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := trace.Decode(bytes.NewReader(v1.Bytes())); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("v2-stream", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := trace.Decode(seqReader{bytes.NewReader(v2.Bytes())}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("v2-parallel-w%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				d, err := trace.NewDecoderWith(bytes.NewReader(v2.Bytes()),
+					trace.DecoderOptions{Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for {
+					if _, err := d.NextRank(); err == io.EOF {
+						break
+					} else if err != nil {
+						b.Fatal(err)
+					}
+				}
+				d.Close()
+			}
+		})
+	}
+}
+
+func BenchmarkCodecReducedRoundTrip(b *testing.B) {
+	full, err := sharedRunner(b).Trace(benchCodecTrace)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := core.DefaultMethod("avgWave")
+	if err != nil {
+		b.Fatal(err)
+	}
+	red, err := core.Reduce(full, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var v1, v2 bytes.Buffer
+	if err := core.EncodeReduced(&v1, red); err != nil {
+		b.Fatal(err)
+	}
+	if err := core.EncodeReducedV2(&v2, red); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("encode-v1", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := core.EncodeReduced(io.Discard, red); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("encode-v2", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ReportMetric(float64(v2.Len())/float64(v1.Len()), "size-ratio")
+		for i := 0; i < b.N; i++ {
+			if err := core.EncodeReducedV2(io.Discard, red); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("decode-v1", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.DecodeReduced(bytes.NewReader(v1.Bytes())); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("decode-v2", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.DecodeReduced(bytes.NewReader(v2.Bytes())); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

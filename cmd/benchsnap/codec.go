@@ -1,0 +1,211 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"runtime"
+	"testing"
+
+	"repro/internal/eval"
+	"repro/internal/trace"
+)
+
+// The codec suite measures the two trace container versions against
+// each other: bytes on disk for every study workload, encode/decode
+// cost on representative workloads, and the block-parallel decode
+// scaling that is the v2 format's point. Committed as BENCH_codec.json.
+
+// SizeRow records both containers' byte sizes for one workload.
+type SizeRow struct {
+	Workload string `json:"workload"`
+	Ranks    int    `json:"ranks"`
+	Events   int    `json:"events"`
+	V1Bytes  int64  `json:"v1_bytes"`
+	V2Bytes  int64  `json:"v2_bytes"`
+	// Ratio is v2 bytes over v1 bytes; below 1 means v2 is smaller.
+	Ratio float64 `json:"ratio"`
+}
+
+// TimeRow records encode/decode cost for one workload and container
+// version. Decode rows for v2 cover the sequential stream path; the
+// parallel path is reported separately with its worker scaling.
+type TimeRow struct {
+	Workload      string  `json:"workload"`
+	Version       string  `json:"version"`
+	EncodeNsPerOp float64 `json:"encode_ns_per_op"`
+	EncodeAllocs  float64 `json:"encode_allocs_per_op"`
+	DecodeNsPerOp float64 `json:"decode_ns_per_op"`
+	DecodeAllocs  float64 `json:"decode_allocs_per_op"`
+}
+
+// ParallelRow records the block-parallel v2 decode at one worker count.
+type ParallelRow struct {
+	Workload string  `json:"workload"`
+	Workers  int     `json:"workers"`
+	NsPerOp  float64 `json:"ns_per_op"`
+	// Speedup is the one-worker parallel decode divided by this row.
+	Speedup float64 `json:"speedup"`
+	// SpeedupVsV1 is the v1 sequential decode divided by this row.
+	SpeedupVsV1 float64 `json:"speedup_vs_v1"`
+}
+
+// CodecSnapshot is the committed codec benchmark record.
+type CodecSnapshot struct {
+	Description string `json:"description"`
+	GoVersion   string `json:"go_version"`
+	GOOS        string `json:"goos"`
+	GOARCH      string `json:"goarch"`
+	// CPUs is runtime.NumCPU() on the snapshot machine. The parallel
+	// rows only show real scaling when it exceeds the worker count; on a
+	// single-CPU machine they measure pure coordination overhead.
+	CPUs     int           `json:"cpus"`
+	Sizes    []SizeRow     `json:"sizes"`
+	Times    []TimeRow     `json:"times"`
+	Parallel []ParallelRow `json:"parallel"`
+}
+
+// timedWorkloads are the workloads the ns/op benchmarks run on: a small
+// diagnosis scenario, a large collective pattern, and the biggest
+// many-rank trace (also the parallel-scaling subject).
+var timedWorkloads = []string{"late_sender", "Nto1_1024", "sweep3d_32p"}
+
+// parallelWorkload is the many-rank trace the worker-scaling rows use.
+const parallelWorkload = "sweep3d_32p"
+
+// parallelWorkers are the worker counts the scaling rows measure.
+var parallelWorkers = []int{1, 2, 4, 8}
+
+// seqOnly hides ReaderAt/Seeker so a v2 decode takes the stream path.
+type seqOnly struct{ io.Reader }
+
+func measureCodec() (*CodecSnapshot, error) {
+	runner := eval.NewRunner()
+	snap := &CodecSnapshot{
+		Description: "container codec comparison: v1 fixed-width vs v2 columnar blocks; sizes over all study workloads, encode/decode cost and block-parallel scaling on representative traces",
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		CPUs:        runtime.NumCPU(),
+	}
+	for _, name := range eval.AllNames() {
+		full, err := runner.Trace(name)
+		if err != nil {
+			return nil, err
+		}
+		v1, v2 := trace.EncodedSize(full), trace.EncodedSizeV2(full)
+		snap.Sizes = append(snap.Sizes, SizeRow{
+			Workload: name,
+			Ranks:    full.NumRanks(),
+			Events:   full.NumEvents(),
+			V1Bytes:  v1,
+			V2Bytes:  v2,
+			Ratio:    round2(float64(v2) / float64(v1)),
+		})
+	}
+	var v1DecodeNs float64
+	for _, name := range timedWorkloads {
+		full, err := runner.Trace(name)
+		if err != nil {
+			return nil, err
+		}
+		var v1buf, v2buf bytes.Buffer
+		if err := trace.Encode(&v1buf, full); err != nil {
+			return nil, err
+		}
+		if err := trace.EncodeV2(&v2buf, full); err != nil {
+			return nil, err
+		}
+		versions := []struct {
+			version string
+			encode  func(w io.Writer) error
+			decode  func() error
+		}{
+			{"v1",
+				func(w io.Writer) error { return trace.Encode(w, full) },
+				func() error { _, err := trace.Decode(bytes.NewReader(v1buf.Bytes())); return err }},
+			{"v2",
+				func(w io.Writer) error { return trace.EncodeV2(w, full) },
+				// The stream path: the like-for-like sequential comparison.
+				func() error { _, err := trace.Decode(seqOnly{bytes.NewReader(v2buf.Bytes())}); return err }},
+		}
+		for _, v := range versions {
+			enc := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if err := v.encode(io.Discard); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			dec := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if err := v.decode(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			row := TimeRow{
+				Workload:      name,
+				Version:       v.version,
+				EncodeNsPerOp: float64(enc.NsPerOp()),
+				EncodeAllocs:  float64(enc.AllocsPerOp()),
+				DecodeNsPerOp: float64(dec.NsPerOp()),
+				DecodeAllocs:  float64(dec.AllocsPerOp()),
+			}
+			snap.Times = append(snap.Times, row)
+			fmt.Printf("%-12s %s  encode %10.0f ns/op (%.0f allocs)  decode %10.0f ns/op (%.0f allocs)\n",
+				name, v.version, row.EncodeNsPerOp, row.EncodeAllocs, row.DecodeNsPerOp, row.DecodeAllocs)
+			if name == parallelWorkload && v.version == "v1" {
+				v1DecodeNs = row.DecodeNsPerOp
+			}
+		}
+	}
+	full, err := runner.Trace(parallelWorkload)
+	if err != nil {
+		return nil, err
+	}
+	var v2buf bytes.Buffer
+	if err := trace.EncodeV2(&v2buf, full); err != nil {
+		return nil, err
+	}
+	var oneWorker float64
+	for _, workers := range parallelWorkers {
+		res := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				d, err := trace.NewDecoderWith(bytes.NewReader(v2buf.Bytes()),
+					trace.DecoderOptions{Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for {
+					if _, err := d.NextRank(); err == io.EOF {
+						break
+					} else if err != nil {
+						b.Fatal(err)
+					}
+				}
+				d.Close()
+			}
+		})
+		row := ParallelRow{
+			Workload: parallelWorkload,
+			Workers:  workers,
+			NsPerOp:  float64(res.NsPerOp()),
+		}
+		if workers == 1 {
+			oneWorker = row.NsPerOp
+			row.Speedup = 1
+		} else if row.NsPerOp > 0 {
+			row.Speedup = round2(oneWorker / row.NsPerOp)
+		}
+		if row.NsPerOp > 0 {
+			row.SpeedupVsV1 = round2(v1DecodeNs / row.NsPerOp)
+		}
+		snap.Parallel = append(snap.Parallel, row)
+		fmt.Printf("%-12s v2 parallel decode, %d worker(s): %10.0f ns/op (%.2fx vs 1 worker, %.2fx vs v1)\n",
+			parallelWorkload, workers, row.NsPerOp, row.Speedup, row.SpeedupVsV1)
+	}
+	return snap, nil
+}

@@ -1,11 +1,15 @@
-// Command benchsnap measures the matcher layer — scan cost and
-// end-to-end reduction cost per similarity method and match mode — on
-// the shared matchbench workload and writes the snapshot to a committed
-// JSON file, the repository's performance trajectory record.
+// Command benchsnap measures a benchmark suite and writes the snapshot
+// to a committed JSON file, the repository's performance trajectory
+// record. The matcher suite covers scan and end-to-end reduction cost
+// per similarity method and match mode on the shared matchbench
+// workload; the codec suite compares the v1 and v2 trace containers —
+// bytes on disk per workload, encode/decode cost, and block-parallel
+// decode scaling per worker count.
 //
 // Usage:
 //
 //	benchsnap                      # writes BENCH_matcher.json
+//	benchsnap -suite codec         # writes BENCH_codec.json
 //	benchsnap -out /tmp/snap.json
 //	benchsnap -classes 512 -candidates 4096
 //
@@ -65,15 +69,29 @@ type Snapshot struct {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_matcher.json", "output snapshot file")
+	suite := flag.String("suite", "matcher", "benchmark suite: matcher or codec")
+	out := flag.String("out", "", "output snapshot file (default BENCH_<suite>.json)")
 	classes := flag.Int("classes", matchbench.DefaultClasses, "stored representatives in the benchmark class")
 	candidates := flag.Int("candidates", matchbench.DefaultCandidates, "candidate segments per measurement")
 	flag.Parse()
 
-	snap, err := measure(*classes, *candidates)
+	var snap any
+	var err error
+	switch *suite {
+	case "matcher":
+		snap, err = measure(*classes, *candidates)
+	case "codec":
+		snap, err = measureCodec()
+	default:
+		fmt.Fprintf(os.Stderr, "benchsnap: unknown suite %q (want matcher or codec)\n", *suite)
+		os.Exit(2)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchsnap:", err)
 		os.Exit(1)
+	}
+	if *out == "" {
+		*out = "BENCH_" + *suite + ".json"
 	}
 	buf, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {

@@ -6,9 +6,11 @@
 package e2e
 
 import (
+	"bytes"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"reflect"
 	"runtime"
 	"strings"
 	"testing"
@@ -109,5 +111,93 @@ func TestCLIRoundTrip(t *testing.T) {
 	}
 	if res.PctSize <= 0 || res.PctSize >= 100 {
 		t.Errorf("reduced size %.2f%% of full, want within (0, 100)", res.PctSize)
+	}
+}
+
+// TestCLIRoundTripV2 runs the same pipeline on v2 containers: tracegen
+// -format v2 writes a TRC2, tracereduce reads it (block-parallel, it's
+// a file) and writes a TRR2, traceanalyze diagnoses both — and the v2
+// artifacts must decode through the library to the same structures the
+// v1 pipeline yields.
+func TestCLIRoundTripV2(t *testing.T) {
+	dir := t.TempDir()
+	tools := buildTools(t, dir)
+	trc1 := filepath.Join(dir, "halo_jitter.trc")
+	trc2 := filepath.Join(dir, "halo_jitter.v2.trc")
+	trr2 := filepath.Join(dir, "halo_jitter.trr")
+
+	run(t, tools["tracegen"], "-workload", "halo_jitter", "-o", trc1)
+	genOut := run(t, tools["tracegen"], "-workload", "halo_jitter", "-format", "v2", "-o", trc2)
+	if !strings.Contains(genOut, "(v2)") {
+		t.Errorf("tracegen -format v2 output does not name the format: %q", genOut)
+	}
+	st1, err1 := os.Stat(trc1)
+	st2, err2 := os.Stat(trc2)
+	if err1 != nil || err2 != nil {
+		t.Fatalf("stat written traces: %v / %v", err1, err2)
+	}
+	if st2.Size() >= st1.Size() {
+		t.Errorf("v2 trace (%d bytes) not smaller than v1 (%d bytes)", st2.Size(), st1.Size())
+	}
+
+	redOut := run(t, tools["tracereduce"],
+		"-in", trc2, "-method", "avgWave", "-format", "v2", "-out", trr2)
+	if !strings.Contains(redOut, "wrote "+trr2) {
+		t.Errorf("tracereduce did not report writing %s:\n%s", trr2, redOut)
+	}
+
+	for _, in := range []string{trc2, trr2} {
+		anaOut := run(t, tools["traceanalyze"], "-in", in)
+		if !strings.Contains(anaOut, "halo_jitter") {
+			t.Errorf("traceanalyze chart for %s does not name the workload:\n%s", in, anaOut)
+		}
+	}
+
+	// The v1 and v2 traces must decode to identical structures, and the
+	// v2-path reduction must match reducing the v1-decoded trace.
+	readTrace := func(path string) *tracered.Trace {
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		tr, err := tracered.ReadTrace(f)
+		if err != nil {
+			t.Fatalf("decoding %s: %v", path, err)
+		}
+		return tr
+	}
+	full1, full2 := readTrace(trc1), readTrace(trc2)
+	if !reflect.DeepEqual(full1, full2) {
+		t.Error("v1 and v2 containers of the same workload decode differently")
+	}
+	rf, err := os.Open(trr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	red, err := tracered.ReadReduced(rf)
+	rf.Close()
+	if err != nil {
+		t.Fatalf("decoding written TRR2: %v", err)
+	}
+	m, err := tracered.DefaultMethod("avgWave")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := tracered.Reduce(full1, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare through the canonical v1 encoding: byte equality is the
+	// cross-version parity the codecs guarantee.
+	var wantEnc, gotEnc bytes.Buffer
+	if err := tracered.WriteReduced(&wantEnc, want); err != nil {
+		t.Fatal(err)
+	}
+	if err := tracered.WriteReduced(&gotEnc, red); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wantEnc.Bytes(), gotEnc.Bytes()) {
+		t.Error("reduction written through the v2 pipeline differs from reducing the v1-decoded trace")
 	}
 }

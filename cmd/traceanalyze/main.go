@@ -1,10 +1,11 @@
 // Command traceanalyze runs the EXPERT-style pattern analysis over a
 // trace file and prints the CUBE-style severity chart plus the raw
-// per-rank severities. It accepts both full traces (TRC1) and reduced
-// traces (TRR1, as written by tracereduce); reduced traces are diagnosed
-// directly from their representatives and execution records, without
-// reconstructing the approximate event stream. See docs/FORMATS.md for
-// the two formats.
+// per-rank severities. It accepts full traces (TRC1 or TRC2) and
+// reduced traces (TRR1 or TRR2, as written by tracereduce); reduced
+// traces are diagnosed directly from their representatives and
+// execution records, without reconstructing the approximate event
+// stream, and v2 containers decode their blocks in parallel. See
+// docs/FORMATS.md for the formats.
 //
 // Usage:
 //
@@ -53,24 +54,37 @@ func main() {
 	}
 }
 
-// diagnose peeks at the file magic and dispatches: full traces are
-// analyzed event by event, reduced traces through the
-// direct-from-reduced engine. The stream is never materialized here;
-// both readers decode from it directly.
+// diagnose peeks at the file magic and dispatches: full traces (TRC1,
+// TRC2) are analyzed event by event, reduced traces (TRR1, TRR2)
+// through the direct-from-reduced engine. The readers themselves pick
+// the codec per version, so only the reduced-vs-full split is decided
+// here. A random-access input (the usual *os.File) is peeked in place
+// and handed to the reader unwrapped, which keeps v2 containers on the
+// block-parallel decode path; anything else is peeked through a
+// buffered reader and decoded sequentially.
 func diagnose(r io.Reader) (*tracered.Diagnosis, error) {
-	br := bufio.NewReader(r)
-	magic, err := br.Peek(4)
-	if err != nil {
-		return nil, fmt.Errorf("reading magic: %w", err)
+	var magic [4]byte
+	if ra, ok := r.(io.ReaderAt); ok {
+		if _, err := ra.ReadAt(magic[:], 0); err != nil {
+			return nil, fmt.Errorf("reading magic: %w", err)
+		}
+	} else {
+		br := bufio.NewReader(r)
+		peeked, err := br.Peek(4)
+		if err != nil {
+			return nil, fmt.Errorf("reading magic: %w", err)
+		}
+		copy(magic[:], peeked)
+		r = br
 	}
-	if bytes.Equal(magic, []byte("TRR1")) {
-		red, err := tracered.ReadReduced(br)
+	if bytes.HasPrefix(magic[:], []byte("TRR")) {
+		red, err := tracered.ReadReduced(r)
 		if err != nil {
 			return nil, fmt.Errorf("reading reduced trace: %w", err)
 		}
 		return tracered.AnalyzeReduced(red)
 	}
-	t, err := tracered.ReadTrace(br)
+	t, err := tracered.ReadTrace(r)
 	if err != nil {
 		return nil, fmt.Errorf("reading trace: %w", err)
 	}

@@ -4,7 +4,12 @@
 // Usage:
 //
 //	tracegen -workload late_sender -o late_sender.trc
+//	tracegen -workload late_sender -format v2 -o late_sender.trc
 //	tracegen -list
+//
+// -format selects the container version: v1 (default, fixed-width
+// records) or v2 (columnar blocks — smaller, block-parallel decode).
+// Every reader in this repo auto-detects the version from the magic.
 package main
 
 import (
@@ -18,6 +23,7 @@ import (
 func main() {
 	workload := flag.String("workload", "", "workload name (see -list)")
 	out := flag.String("o", "", "output file (default <workload>.trc)")
+	format := flag.String("format", "v1", "container format: v1 or v2")
 	list := flag.Bool("list", false, "list available workloads and exit")
 	flag.Parse()
 
@@ -29,6 +35,11 @@ func main() {
 	}
 	if *workload == "" {
 		fmt.Fprintln(os.Stderr, "tracegen: -workload is required (try -list)")
+		os.Exit(2)
+	}
+	fv, err := tracered.ParseFormat(*format)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
 		os.Exit(2)
 	}
 	if *out == "" {
@@ -44,7 +55,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "tracegen:", err)
 		os.Exit(1)
 	}
-	if err := tracered.WriteTrace(f, t); err != nil {
+	if err := tracered.WriteTraceFormat(f, t, fv); err != nil {
 		f.Close()
 		fmt.Fprintln(os.Stderr, "tracegen: writing trace:", err)
 		os.Exit(1)
@@ -53,6 +64,6 @@ func main() {
 		fmt.Fprintln(os.Stderr, "tracegen: closing:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("%s: %d ranks, %d events, %d bytes -> %s\n",
-		*workload, t.NumRanks(), t.NumEvents(), tracered.TraceSize(t), *out)
+	fmt.Printf("%s: %d ranks, %d events, %d bytes (%s) -> %s\n",
+		*workload, t.NumRanks(), t.NumEvents(), tracered.TraceSizeFormat(t, fv), fv, *out)
 }

@@ -7,7 +7,12 @@
 //	tracereduce -in late_sender.trc -method avgWave -threshold 0.2 -out late_sender.trr
 //	tracereduce -in late_sender.trc -method iter_k -threshold 10 -verify
 //	tracereduce -in sweep.trc -method haarWave -match lsh -verify
+//	tracereduce -in sweep.trc -method haarWave -format v2 -out sweep.trr
 //	tracereduce -in sweep.trc -method haarWave -cpuprofile reduce.prof
+//
+// The input trace may be either container version (TRC1 or TRC2; v2
+// containers decode their blocks in parallel). -format selects the
+// version of the written reduced container: v1 (default) or v2.
 //
 // -match selects the matcher's search mode: exact (default, the paper's
 // first-match scan), vptree or lsh (sublinear approximate searches), or
@@ -38,6 +43,7 @@ func main() {
 	method := flag.String("method", "avgWave", "similarity method")
 	threshold := flag.Float64("threshold", -1, "match threshold (default: the paper's per-method default)")
 	match := flag.String("match", "exact", "match mode: exact, vptree, lsh, or auto")
+	format := flag.String("format", "v1", "output container format: v1 or v2")
 	verify := flag.Bool("verify", false, "also reconstruct and score error/trend retention")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the reduction to `file`")
 	memprofile := flag.String("memprofile", "", "write a heap profile taken after the reduction to `file`")
@@ -60,12 +66,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, "tracereduce:", err)
 		os.Exit(2)
 	}
+	fv, err := tracered.ParseFormat(*format)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracereduce:", err)
+		os.Exit(2)
+	}
 	stopProf, err := profiling.Start(*cpuprofile, *memprofile)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tracereduce:", err)
 		os.Exit(1)
 	}
-	runErr := run(*in, *out, *method, *threshold, mode, *verify)
+	runErr := run(*in, *out, *method, *threshold, mode, fv, *verify)
 	if runErr != nil {
 		fmt.Fprintln(os.Stderr, "tracereduce:", runErr)
 	}
@@ -78,7 +89,7 @@ func main() {
 	}
 }
 
-func run(in, out, method string, threshold float64, mode tracered.MatchMode, verify bool) error {
+func run(in, out, method string, threshold float64, mode tracered.MatchMode, fv tracered.Format, verify bool) error {
 	m, err := tracered.NewMethod(method, threshold)
 	if err != nil {
 		return err
@@ -104,7 +115,7 @@ func run(in, out, method string, threshold float64, mode tracered.MatchMode, ver
 		return err
 	}
 	fullBytes := st.Size()
-	redBytes := tracered.ReducedSize(red)
+	redBytes := tracered.ReducedSizeFormat(red, fv)
 	modeNote := ""
 	if mode != tracered.MatchModeExact {
 		modeNote = fmt.Sprintf(" [%s match]", mode)
@@ -118,7 +129,7 @@ func run(in, out, method string, threshold float64, mode tracered.MatchMode, ver
 		if err != nil {
 			return err
 		}
-		if err := tracered.WriteReduced(g, red); err != nil {
+		if err := tracered.WriteReducedFormat(g, red, fv); err != nil {
 			g.Close()
 			return fmt.Errorf("writing: %w", err)
 		}

@@ -118,15 +118,38 @@ func EncodeReduced(w io.Writer, r *Reduced) error {
 }
 
 // DecodeReduced reads a reduced trace in the binary format from rd.
+// Both container versions are accepted; the magic selects the codec.
+// Version-2 (TRR2) files on a random-access input (io.ReaderAt +
+// io.Seeker) decode their blocks in parallel.
 func DecodeReduced(rd io.Reader) (*Reduced, error) {
-	br := bufio.NewReader(rd)
+	return DecodeReducedWith(rd, trace.DecoderOptions{})
+}
+
+// DecodeReducedWith is DecodeReduced with explicit options.
+func DecodeReducedWith(rd io.Reader, opts trace.DecoderOptions) (*Reduced, error) {
+	if sr, ok := trace.SectionFor(rd); ok {
+		if magic, err := trace.PeekMagic(sr); err == nil && magic == reducedMagicV2 {
+			return decodeReducedV2Parallel(sr, trace.DefaultDecodeWorkers(opts.Workers))
+		}
+	}
+	cr := &v2countingReader{r: rd}
+	br := bufio.NewReader(cr)
 	magic := make([]byte, len(reducedMagic))
 	if _, err := io.ReadFull(br, magic); err != nil {
 		return nil, fmt.Errorf("core: reading magic: %w", err)
 	}
-	if string(magic) != reducedMagic {
+	switch string(magic) {
+	case reducedMagic:
+		return decodeReducedV1(br)
+	case reducedMagicV2:
+		return decodeReducedV2Sequential(cr, br)
+	default:
 		return nil, fmt.Errorf("core: bad magic %q", magic)
 	}
+}
+
+// decodeReducedV1 reads the TRR1 body after the magic.
+func decodeReducedV1(br *bufio.Reader) (*Reduced, error) {
 	name, err := trace.ReadString(br)
 	if err != nil {
 		return nil, err

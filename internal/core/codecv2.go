@@ -1,0 +1,344 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/segment"
+	"repro/internal/trace"
+)
+
+// Columnar reduced-trace container, version 2 (TRR2). The byte-level
+// specification lives in docs/FORMATS.md; this comment is the summary.
+//
+// TRR2 shares the v2 block machinery with TRC2 (internal/trace): one
+// self-contained block per rank with an inline header (rank, records,
+// payload length, CRC32-C), a footer block index, and a trailer, so the
+// reader can verify the layout once and decode blocks independently —
+// in parallel on random-access inputs. Layout:
+//
+//	magic   "TRR2" (4 bytes)
+//	name    length-prefixed workload name
+//	method  length-prefixed similarity-method name
+//	names   u32 count + length-prefixed strings (event names AND contexts)
+//	nranks  u32
+//	per rank, in file order: one block (records = nstored + nexecs)
+//	  u32 rank, u32 records, u32 payload length, u32 CRC32-C(payload)
+//	  payload:
+//	    uvarint nstored, uvarint nexecs
+//	    per stored segment: uvarint contextID, svarint end,
+//	      uvarint weight, uvarint nevents, then v2 event records
+//	      (the Δenter chain restarts per segment)
+//	    per exec: uvarint id, svarint Δstart (vs the previous exec)
+//	footer  block index + trailer, as in TRC2, trailing magic "TRR2"
+
+const reducedMagicV2 = "TRR2"
+
+// EncodedReducedSizeV2 returns the byte size EncodeReducedV2 would write.
+func EncodedReducedSizeV2(r *Reduced) int64 {
+	var c trace.CountingWriter
+	if err := EncodeReducedV2(&c, r); err != nil {
+		panic("core: EncodedReducedSizeV2: " + err.Error())
+	}
+	return c.N
+}
+
+// EncodeReducedV2 writes r to w in the columnar v2 reduced format
+// (TRR2). The v1 format remains the default interchange form.
+func EncodeReducedV2(w io.Writer, r *Reduced) error {
+	bw := trace.NewBlockWriter(w)
+	if _, err := io.WriteString(bw, reducedMagicV2); err != nil {
+		return err
+	}
+	if err := trace.WriteString(bw, r.Name); err != nil {
+		return err
+	}
+	if err := trace.WriteString(bw, r.Method); err != nil {
+		return err
+	}
+	nt := trace.NewNameTable()
+	for i := range r.Ranks {
+		for _, s := range r.Ranks[i].Stored {
+			nt.ID(s.Context)
+			for _, e := range s.Events {
+				nt.ID(e.Name)
+			}
+		}
+	}
+	le := binary.LittleEndian
+	if err := binary.Write(bw, le, uint32(len(nt.Names()))); err != nil {
+		return err
+	}
+	for _, name := range nt.Names() {
+		if err := trace.WriteString(bw, name); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(bw, le, uint32(len(r.Ranks))); err != nil {
+		return err
+	}
+	var payload []byte
+	for i := range r.Ranks {
+		rr := &r.Ranks[i]
+		payload = appendRankReducedV2(payload[:0], nt, rr)
+		records := uint32(len(rr.Stored) + len(rr.Execs))
+		if err := bw.WriteBlock(uint32(rr.Rank), records, payload); err != nil {
+			return err
+		}
+	}
+	return bw.Finish(reducedMagicV2)
+}
+
+// appendRankReducedV2 appends one rank's v2 block payload to dst.
+func appendRankReducedV2(dst []byte, nt *trace.NameTable, rr *RankReduced) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(rr.Stored)))
+	dst = binary.AppendUvarint(dst, uint64(len(rr.Execs)))
+	for _, s := range rr.Stored {
+		dst = binary.AppendUvarint(dst, uint64(nt.ID(s.Context)))
+		dst = binary.AppendVarint(dst, s.End)
+		dst = binary.AppendUvarint(dst, uint64(s.Weight))
+		dst = binary.AppendUvarint(dst, uint64(len(s.Events)))
+		dst = trace.AppendEventsV2(dst, nt, s.Events)
+	}
+	var prev int64
+	for _, ex := range rr.Execs {
+		dst = binary.AppendUvarint(dst, uint64(ex.ID))
+		dst = binary.AppendVarint(dst, ex.Start-prev)
+		prev = ex.Start
+	}
+	return dst
+}
+
+// parseRankReducedV2 parses one rank's block payload. The result mirrors
+// the v1 decoder's shapes exactly (always-allocated Stored/Execs/Events
+// slices, ranks threaded into segments), so a v2 decode is structurally
+// identical to a v1 decode of the same reduction.
+func parseRankReducedV2(e trace.BlockEntry, payload []byte, names []string) (RankReduced, error) {
+	rr := RankReduced{Rank: int(e.Rank)}
+	c := trace.NewCursor(payload)
+	nStored, err := c.Uvarint()
+	if err != nil {
+		return rr, err
+	}
+	nExecs, err := c.Uvarint()
+	if err != nil {
+		return rr, err
+	}
+	if nStored > 1<<24 || nExecs > 1<<28 {
+		return rr, fmt.Errorf("core: rank %d: implausible counts stored=%d execs=%d", rr.Rank, nStored, nExecs)
+	}
+	if nStored+nExecs != uint64(e.Records) {
+		return rr, fmt.Errorf("core: rank %d: block declares %d records but payload holds %d stored + %d execs",
+			rr.Rank, e.Records, nStored, nExecs)
+	}
+	// Stored segments cost ≥ 4 payload bytes each and execs ≥ 2, so the
+	// declared counts are bounded by the payload actually present.
+	if uint64(c.Len()) < nStored*4+nExecs*2 {
+		return rr, fmt.Errorf("core: rank %d: %d stored + %d execs declared but only %d payload bytes remain",
+			rr.Rank, nStored, nExecs, c.Len())
+	}
+	rr.Stored = make([]*segment.Segment, 0, nStored)
+	for j := uint64(0); j < nStored; j++ {
+		ctxID, err := c.Uvarint()
+		if err != nil {
+			return rr, err
+		}
+		if ctxID >= uint64(len(names)) {
+			return rr, fmt.Errorf("core: context id %d out of range", ctxID)
+		}
+		end, err := c.Varint()
+		if err != nil {
+			return rr, err
+		}
+		weight, err := c.Uvarint()
+		if err != nil {
+			return rr, err
+		}
+		if weight > math.MaxUint32 {
+			return rr, fmt.Errorf("core: segment weight %d overflows uint32", weight)
+		}
+		nEvents, err := c.Uvarint()
+		if err != nil {
+			return rr, err
+		}
+		if nEvents > math.MaxUint32 {
+			return rr, fmt.Errorf("core: event count %d overflows uint32", nEvents)
+		}
+		s := &segment.Segment{Context: names[ctxID], Rank: rr.Rank, End: end, Weight: int(weight)}
+		events, err := trace.ParseEventsV2(c, names, uint32(nEvents))
+		if err != nil {
+			return rr, err
+		}
+		if events == nil {
+			events = make([]trace.Event, 0)
+		}
+		s.Events = events
+		rr.Stored = append(rr.Stored, s)
+	}
+	rr.Execs = make([]Exec, 0, nExecs)
+	var prev int64
+	for j := uint64(0); j < nExecs; j++ {
+		id, err := c.Uvarint()
+		if err != nil {
+			return rr, err
+		}
+		if id >= nStored {
+			return rr, fmt.Errorf("core: rank %d exec %d: segment id %d out of range (%d stored)",
+				rr.Rank, j, id, nStored)
+		}
+		dStart, err := c.Varint()
+		if err != nil {
+			return rr, err
+		}
+		start := prev + dStart
+		prev = start
+		rr.Execs = append(rr.Execs, Exec{ID: int(id), Start: start})
+	}
+	if err := c.Done(); err != nil {
+		return rr, fmt.Errorf("core: rank %d block: %w", rr.Rank, err)
+	}
+	return rr, nil
+}
+
+// readReducedV2Header reads the TRR2 header after the magic: workload
+// name, method, name table, rank count — the same caps as v1.
+func readReducedV2Header(br *bufio.Reader) (name, method string, names []string, nRanks int, err error) {
+	name, err = trace.ReadString(br)
+	if err != nil {
+		return "", "", nil, 0, err
+	}
+	method, err = trace.ReadString(br)
+	if err != nil {
+		return "", "", nil, 0, err
+	}
+	le := binary.LittleEndian
+	var nNames uint32
+	if err = binary.Read(br, le, &nNames); err != nil {
+		return "", "", nil, 0, err
+	}
+	if nNames > 1<<24 {
+		return "", "", nil, 0, fmt.Errorf("core: name table size %d too large", nNames)
+	}
+	names = make([]string, 0, min(nNames, 1<<12))
+	for i := uint32(0); i < nNames; i++ {
+		s, err := trace.ReadString(br)
+		if err != nil {
+			return "", "", nil, 0, err
+		}
+		names = append(names, s)
+	}
+	var n uint32
+	if err = binary.Read(br, le, &n); err != nil {
+		return "", "", nil, 0, err
+	}
+	if n > 1<<20 {
+		return "", "", nil, 0, fmt.Errorf("core: rank count %d too large", n)
+	}
+	return name, method, names, int(n), nil
+}
+
+// decodeReducedV2Parallel decodes a TRR2 container from a random-access
+// input: the footer index is validated once, then blocks are decoded
+// into their rank slots by a bounded worker pool.
+func decodeReducedV2Parallel(sr *io.SectionReader, workers int) (*Reduced, error) {
+	cr := &v2countingReader{r: io.NewSectionReader(sr, 0, sr.Size())}
+	br := bufio.NewReader(cr)
+	magic := make([]byte, len(reducedMagicV2))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("core: reading magic: %w", err)
+	}
+	name, method, names, nRanks, err := readReducedV2Header(br)
+	if err != nil {
+		return nil, err
+	}
+	headerEnd := uint64(cr.n) - uint64(br.Buffered())
+	entries, err := trace.ReadBlockIndex(sr, sr.Size(), reducedMagicV2, headerEnd)
+	if err != nil {
+		return nil, err
+	}
+	if len(entries) != nRanks {
+		return nil, fmt.Errorf("core: %d blocks indexed for %d ranks", len(entries), nRanks)
+	}
+	r := &Reduced{Name: name, Method: method, Ranks: make([]RankReduced, nRanks)}
+	if workers > nRanks {
+		workers = nRanks
+	}
+	var (
+		claim   atomic.Int64
+		wg      sync.WaitGroup
+		errOnce sync.Once
+		firstEr error
+	)
+	claim.Store(-1)
+	for w := 0; w < max(workers, 1); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(claim.Add(1))
+				if i >= len(entries) {
+					return
+				}
+				payload, err := trace.ReadBlockAt(sr, entries[i])
+				if err == nil {
+					r.Ranks[i], err = parseRankReducedV2(entries[i], payload, names)
+				}
+				if err != nil {
+					errOnce.Do(func() { firstEr = err })
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstEr != nil {
+		return nil, firstEr
+	}
+	return r, nil
+}
+
+// decodeReducedV2Sequential decodes a TRR2 container from a plain
+// stream: blocks in file order via the inline headers, then the footer
+// is verified against the observed blocks.
+func decodeReducedV2Sequential(cr *v2countingReader, br *bufio.Reader) (*Reduced, error) {
+	name, method, names, nRanks, err := readReducedV2Header(br)
+	if err != nil {
+		return nil, err
+	}
+	pos := func() uint64 { return uint64(cr.n) - uint64(br.Buffered()) }
+	r := &Reduced{Name: name, Method: method, Ranks: make([]RankReduced, nRanks)}
+	observed := make([]trace.BlockEntry, 0, nRanks)
+	for i := 0; i < nRanks; i++ {
+		e, payload, err := trace.ReadBlock(br, pos())
+		if err != nil {
+			return nil, fmt.Errorf("core: rank %d of %d block: %w", i, nRanks, err)
+		}
+		observed = append(observed, e)
+		r.Ranks[i], err = parseRankReducedV2(e, payload, names)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := trace.CheckBlockFooter(br, reducedMagicV2, observed, pos()); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// v2countingReader mirrors the trace package's position tracking for the
+// sequential v2 path.
+type v2countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *v2countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}

@@ -188,27 +188,66 @@ func noEOF(err error) error {
 
 // Decoder reads a binary trace file one rank at a time, so a consumer
 // that processes ranks independently (the streaming reduction pipeline)
-// never holds more than one rank's events in memory. NewDecoder reads the
-// header; each NextRank call decodes the next rank's stream.
+// never holds more than one rank's events in memory. NewDecoder sniffs
+// the magic and reads the header of either container version; each
+// NextRank call yields the next rank's stream.
+//
+// For version-2 (TRC2) files on a random-access input (io.ReaderAt +
+// io.Seeker, e.g. *os.File or bytes.Reader), blocks are decoded in
+// parallel on a worker pool and delivered in file order; on a plain
+// stream, blocks are decoded sequentially with the same validation.
+// Version-1 files always decode sequentially, unchanged.
 type Decoder struct {
-	br     *bufio.Reader
-	name   string
-	names  []string
-	nRanks int
-	next   int
+	name    string
+	names   []string
+	nRanks  int
+	version int
+	next    func() (*RankTrace, error)
+	close   func()
+}
+
+// DecoderOptions configure decoding. The zero value is the default.
+type DecoderOptions struct {
+	// Workers bounds the version-2 block-decode pool; non-positive means
+	// GOMAXPROCS. Version-1 decoding ignores it.
+	Workers int
 }
 
 // NewDecoder reads the trace header (magic, workload name, name table,
 // rank count) from r and returns a Decoder positioned at the first rank.
+// Both container versions are accepted; the magic selects the codec.
 func NewDecoder(r io.Reader) (*Decoder, error) {
-	br := bufio.NewReader(r)
+	return NewDecoderWith(r, DecoderOptions{})
+}
+
+// NewDecoderWith is NewDecoder with explicit options.
+func NewDecoderWith(r io.Reader, opts DecoderOptions) (*Decoder, error) {
+	if sr, ok := SectionFor(r); ok {
+		if magic, err := PeekMagic(sr); err == nil && magic == traceMagicV2 {
+			return newV2ParallelDecoder(sr, DefaultDecodeWorkers(opts.Workers))
+		}
+		// Not a v2 container (or too short to tell): r's position was
+		// restored by SectionFor, so the stream path below sees the file
+		// from the start.
+	}
+	cr := &countingReader{r: r}
+	br := bufio.NewReader(cr)
 	magic := make([]byte, len(traceMagic))
 	if _, err := io.ReadFull(br, magic); err != nil {
 		return nil, fmt.Errorf("trace: reading magic: %w", err)
 	}
-	if string(magic) != traceMagic {
+	switch string(magic) {
+	case traceMagic:
+		return newV1Decoder(br)
+	case traceMagicV2:
+		return newV2SequentialDecoder(cr, br)
+	default:
 		return nil, fmt.Errorf("trace: bad magic %q", magic)
 	}
+}
+
+// newV1Decoder reads the TRC1 header after the magic.
+func newV1Decoder(br *bufio.Reader) (*Decoder, error) {
 	name, err := ReadString(br)
 	if err != nil {
 		return nil, fmt.Errorf("trace: reading name: %w", err)
@@ -235,7 +274,15 @@ func NewDecoder(r io.Reader) (*Decoder, error) {
 	if nRanks > 1<<20 {
 		return nil, fmt.Errorf("trace: rank count %d too large", nRanks)
 	}
-	return &Decoder{br: br, name: name, names: names, nRanks: int(nRanks)}, nil
+	v1 := &v1decoder{br: br, names: names, nRanks: int(nRanks)}
+	return &Decoder{
+		name:    name,
+		names:   names,
+		nRanks:  int(nRanks),
+		version: 1,
+		next:    v1.nextRank,
+		close:   func() {},
+	}, nil
 }
 
 // Name returns the workload name from the trace header.
@@ -244,9 +291,27 @@ func (d *Decoder) Name() string { return d.name }
 // NumRanks returns the number of ranks the file declares.
 func (d *Decoder) NumRanks() int { return d.nRanks }
 
+// Version returns the container version being decoded (1 or 2).
+func (d *Decoder) Version() int { return d.version }
+
 // NextRank decodes the next rank's event stream. It returns io.EOF after
 // the last rank.
-func (d *Decoder) NextRank() (*RankTrace, error) {
+func (d *Decoder) NextRank() (*RankTrace, error) { return d.next() }
+
+// Close releases decode workers. It is only needed when a version-2
+// parallel decode is abandoned before NextRank returned io.EOF or an
+// error; it is safe (and a no-op) in every other case.
+func (d *Decoder) Close() { d.close() }
+
+// v1decoder is the sequential TRC1 rank reader.
+type v1decoder struct {
+	br     *bufio.Reader
+	names  []string
+	nRanks int
+	next   int
+}
+
+func (d *v1decoder) nextRank() (*RankTrace, error) {
 	if d.next >= d.nRanks {
 		return nil, io.EOF
 	}
@@ -283,13 +348,15 @@ func (d *Decoder) NextRank() (*RankTrace, error) {
 	return rt, nil
 }
 
-// Decode reads a trace in the binary format from r. It is the batch form
-// of Decoder: every rank is materialized into one Trace.
+// Decode reads a trace in the binary format from r (either container
+// version; the magic selects the codec). It is the batch form of
+// Decoder: every rank is materialized into one Trace.
 func Decode(r io.Reader) (*Trace, error) {
 	d, err := NewDecoder(r)
 	if err != nil {
 		return nil, err
 	}
+	defer d.Close()
 	t := &Trace{Name: d.Name(), Ranks: make([]RankTrace, 0, d.NumRanks())}
 	for {
 		rt, err := d.NextRank()

@@ -1,0 +1,208 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"reflect"
+	"testing"
+)
+
+// streamOnly hides ReaderAt/Seeker so a decode is forced down the
+// sequential path.
+type streamOnly struct{ io.Reader }
+
+// v2TestTrace builds a trace covering the v2 codec's edge shapes:
+// multiple ranks, an empty rank, non-contiguous rank ids, negative
+// enter deltas across segment-relative streams, large field values,
+// and name reuse across ranks.
+func v2TestTrace() *Trace {
+	t := New("v2_codec", 4)
+	t.Ranks[2].Rank = 5 // non-dense rank id survives the round trip
+	for i, rt := range []*RankTrace{&t.Ranks[0], &t.Ranks[1], &t.Ranks[2]} {
+		base := Time(1000 * (i + 1))
+		rt.Events = append(rt.Events,
+			Event{Name: "main.1", Kind: KindMarkBegin, Enter: base, Exit: base, Peer: NoPeer, Root: NoPeer},
+			Event{Name: "do_work", Kind: KindCompute, Enter: base + 1, Exit: base + 900, Peer: NoPeer, Root: NoPeer},
+			Event{Name: "MPI_Send", Kind: KindSend, Enter: base + 901, Exit: base + 910, Peer: int32(i + 1), Tag: 77, Bytes: 1 << 40, Root: NoPeer},
+			Event{Name: "MPI_Allreduce", Kind: KindAllreduce, Enter: base + 911, Exit: base + 950, Peer: NoPeer, Bytes: 8, Root: NoPeer},
+			Event{Name: "main.1", Kind: KindMarkEnd, Enter: base + 960, Exit: base + 960, Peer: NoPeer, Root: NoPeer},
+		)
+	}
+	// Rank 3 stays empty: zero-record blocks must round-trip.
+	return t
+}
+
+func encodeV2Bytes(t *testing.T, tr *Trace) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := EncodeV2(&buf, tr); err != nil {
+		t.Fatalf("EncodeV2: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestEncodeV2RoundTripParallel(t *testing.T) {
+	want := v2TestTrace()
+	data := encodeV2Bytes(t, want)
+	got, err := Decode(bytes.NewReader(data)) // bytes.Reader → parallel path
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("parallel v2 round trip changed the trace:\nwant %+v\ngot  %+v", want, got)
+	}
+}
+
+func TestEncodeV2RoundTripSequential(t *testing.T) {
+	want := v2TestTrace()
+	data := encodeV2Bytes(t, want)
+	got, err := Decode(streamOnly{bytes.NewReader(data)})
+	if err != nil {
+		t.Fatalf("Decode (stream): %v", err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("sequential v2 round trip changed the trace")
+	}
+}
+
+func TestDecodeV2EmptyTrace(t *testing.T) {
+	for _, ranks := range []int{0, 3} {
+		tr := New("empty", ranks)
+		data := encodeV2Bytes(t, tr)
+		for name, r := range map[string]io.Reader{
+			"parallel":   bytes.NewReader(data),
+			"sequential": streamOnly{bytes.NewReader(data)},
+		} {
+			got, err := Decode(r)
+			if err != nil {
+				t.Fatalf("%s decode of %d-rank empty trace: %v", name, ranks, err)
+			}
+			if !reflect.DeepEqual(tr, got) {
+				t.Errorf("%s decode of %d-rank empty trace differs", name, ranks)
+			}
+		}
+	}
+}
+
+func TestDecoderVersionAndNameV2(t *testing.T) {
+	data := encodeV2Bytes(t, v2TestTrace())
+	d, err := NewDecoder(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("NewDecoder: %v", err)
+	}
+	defer d.Close()
+	if d.Version() != 2 {
+		t.Errorf("Version() = %d, want 2", d.Version())
+	}
+	if d.Name() != "v2_codec" {
+		t.Errorf("Name() = %q", d.Name())
+	}
+	if d.NumRanks() != 4 {
+		t.Errorf("NumRanks() = %d, want 4", d.NumRanks())
+	}
+}
+
+func TestDecoderVersionV1(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Encode(&buf, v2TestTrace()); err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDecoder(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("NewDecoder: %v", err)
+	}
+	if d.Version() != 1 {
+		t.Errorf("Version() = %d, want 1", d.Version())
+	}
+}
+
+// TestDecodeV2WorkerCounts decodes the same container under several
+// worker-pool sizes; all must agree with the single-worker result.
+func TestDecodeV2WorkerCounts(t *testing.T) {
+	want := v2TestTrace()
+	data := encodeV2Bytes(t, want)
+	for _, workers := range []int{1, 2, 3, 7, 64} {
+		d, err := NewDecoderWith(bytes.NewReader(data), DecoderOptions{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: NewDecoderWith: %v", workers, err)
+		}
+		got := &Trace{Name: d.Name()}
+		for {
+			rt, err := d.NextRank()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatalf("workers=%d: NextRank: %v", workers, err)
+			}
+			got.Ranks = append(got.Ranks, *rt)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("workers=%d: decoded trace differs", workers)
+		}
+	}
+}
+
+// TestDecodeV2AbandonedClose abandons a parallel decode mid-stream and
+// closes it; the decoder must release its workers without deadlocking
+// (the race detector would flag unsynchronized worker exits).
+func TestDecodeV2AbandonedClose(t *testing.T) {
+	data := encodeV2Bytes(t, v2TestTrace())
+	d, err := NewDecoder(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.NextRank(); err != nil {
+		t.Fatalf("NextRank: %v", err)
+	}
+	d.Close()
+}
+
+// TestV2SmallerThanV1 pins the point of the columnar format: the varint
+// delta encoding must beat the 41-byte fixed records on a realistic
+// event mix.
+func TestV2SmallerThanV1(t *testing.T) {
+	tr := v2TestTrace()
+	v1, v2 := EncodedSize(tr), EncodedSizeV2(tr)
+	if v2 >= v1 {
+		t.Errorf("v2 encoding (%d bytes) not smaller than v1 (%d bytes)", v2, v1)
+	}
+}
+
+// TestV2SequentialParallelIdentical decodes one container through both
+// paths and requires identical structures — the guarantee that lets
+// openers pick the path by input capability alone.
+func TestV2SequentialParallelIdentical(t *testing.T) {
+	data := encodeV2Bytes(t, v2TestTrace())
+	par, err := Decode(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := Decode(streamOnly{bytes.NewReader(data)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(par, seq) {
+		t.Error("parallel and sequential decodes of the same container differ")
+	}
+}
+
+// TestSectionForMidStream verifies the random-access prober respects a
+// reader's current position: a v2 container embedded after a prefix
+// still decodes when the caller has seeked past the prefix.
+func TestSectionForMidStream(t *testing.T) {
+	want := v2TestTrace()
+	prefix := []byte("PREFIXBYTES")
+	data := append(append([]byte{}, prefix...), encodeV2Bytes(t, want)...)
+	r := bytes.NewReader(data)
+	if _, err := r.Seek(int64(len(prefix)), io.SeekStart); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(r)
+	if err != nil {
+		t.Fatalf("Decode of embedded container: %v", err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Error("embedded container decode differs")
+	}
+}

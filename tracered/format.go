@@ -1,0 +1,120 @@
+package tracered
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+// Format selects the container version the writer entry points emit.
+// Readers never need one: ReadTrace, ReadReduced, and NewTraceDecoder
+// sniff the magic and accept every released version.
+//
+// FormatV1 is the fixed-width rank-sequential layout and stays the
+// default interchange form; FormatV2 is the columnar block layout —
+// smaller on disk (per-rank delta+varint encoding) and decodable
+// block-parallel on random-access inputs. Files of either version stay
+// readable forever; format changes get a new magic, never an edit to a
+// released layout.
+type Format int
+
+const (
+	// FormatV1 is the version-1 container (TRC1/TRR1): fixed-width
+	// records, rank-sequential, the default.
+	FormatV1 Format = 1
+	// FormatV2 is the version-2 columnar container (TRC2/TRR2):
+	// per-rank checksummed blocks with a footer index, delta+varint
+	// record encoding, block-parallel decode.
+	FormatV2 Format = 2
+)
+
+// FormatNames lists the accepted format spellings in display order.
+var FormatNames = []string{"v1", "v2"}
+
+// ParseFormat parses a container-format name (a -format flag value).
+func ParseFormat(s string) (Format, error) {
+	switch s {
+	case "v1", "1":
+		return FormatV1, nil
+	case "v2", "2":
+		return FormatV2, nil
+	default:
+		return 0, fmt.Errorf("tracered: unknown format %q (want v1 or v2)", s)
+	}
+}
+
+// String returns the canonical spelling ParseFormat accepts.
+func (f Format) String() string {
+	switch f {
+	case FormatV1:
+		return "v1"
+	case FormatV2:
+		return "v2"
+	default:
+		return fmt.Sprintf("Format(%d)", int(f))
+	}
+}
+
+// DecoderOptions tunes version-aware trace reading; the zero value is
+// ready to use. Workers bounds the block-decode pool for v2 containers
+// on random-access inputs (0 means GOMAXPROCS); v1 containers decode
+// sequentially regardless.
+type DecoderOptions = trace.DecoderOptions
+
+// WriteTraceFormat stores a trace in the requested container format.
+func WriteTraceFormat(w io.Writer, t *Trace, f Format) error {
+	switch f {
+	case FormatV1:
+		return trace.Encode(w, t)
+	case FormatV2:
+		return trace.EncodeV2(w, t)
+	default:
+		return fmt.Errorf("tracered: unknown trace format %v", f)
+	}
+}
+
+// WriteReducedFormat stores a reduced trace in the requested container
+// format.
+func WriteReducedFormat(w io.Writer, red *Reduced, f Format) error {
+	switch f {
+	case FormatV1:
+		return core.EncodeReduced(w, red)
+	case FormatV2:
+		return core.EncodeReducedV2(w, red)
+	default:
+		return fmt.Errorf("tracered: unknown reduced format %v", f)
+	}
+}
+
+// TraceSizeFormat returns the encoded byte size of a full trace in the
+// requested container format.
+func TraceSizeFormat(t *Trace, f Format) int64 {
+	if f == FormatV2 {
+		return trace.EncodedSizeV2(t)
+	}
+	return trace.EncodedSize(t)
+}
+
+// ReducedSizeFormat returns the encoded byte size of a reduced trace in
+// the requested container format.
+func ReducedSizeFormat(red *Reduced, f Format) int64 {
+	if f == FormatV2 {
+		return core.EncodedReducedSizeV2(red)
+	}
+	return core.EncodedReducedSize(red)
+}
+
+// NewTraceDecoderWith is NewTraceDecoder with explicit options: on a
+// random-access v2 container the decoder fans blocks across
+// opts.Workers goroutines while NextRank streams ranks in order.
+func NewTraceDecoderWith(r io.Reader, opts DecoderOptions) (*TraceDecoder, error) {
+	return trace.NewDecoderWith(r, opts)
+}
+
+// ReadReducedWith is ReadReduced with explicit options (see
+// DecoderOptions for what they tune).
+func ReadReducedWith(r io.Reader, opts DecoderOptions) (*Reduced, error) {
+	return core.DecodeReducedWith(r, opts)
+}
