@@ -127,7 +127,11 @@ func DecodeReduced(rd io.Reader) (*Reduced, error) {
 
 // DecodeReducedWith is DecodeReduced with explicit options.
 func DecodeReducedWith(rd io.Reader, opts trace.DecoderOptions) (*Reduced, error) {
-	if sr, ok := trace.SectionFor(rd); ok {
+	sr, ok, err := trace.SectionFor(rd)
+	if err != nil {
+		return nil, err
+	}
+	if ok {
 		if magic, err := trace.PeekMagic(sr); err == nil && magic == reducedMagicV2 {
 			return decodeReducedV2Parallel(sr, trace.DefaultDecodeWorkers(opts.Workers))
 		}

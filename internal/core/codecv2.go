@@ -272,6 +272,7 @@ func decodeReducedV2Parallel(sr *io.SectionReader, workers int) (*Reduced, error
 		claim   atomic.Int64
 		wg      sync.WaitGroup
 		errOnce sync.Once
+		failed  atomic.Bool
 		firstEr error
 	)
 	claim.Store(-1)
@@ -280,6 +281,12 @@ func decodeReducedV2Parallel(sr *io.SectionReader, workers int) (*Reduced, error
 		go func() {
 			defer wg.Done()
 			for {
+				// Stop claiming once any worker has failed, so a corrupt
+				// block aborts the whole decode promptly instead of
+				// decoding every remaining block first.
+				if failed.Load() {
+					return
+				}
 				i := int(claim.Add(1))
 				if i >= len(entries) {
 					return
@@ -290,6 +297,7 @@ func decodeReducedV2Parallel(sr *io.SectionReader, workers int) (*Reduced, error
 				}
 				if err != nil {
 					errOnce.Do(func() { firstEr = err })
+					failed.Store(true)
 					return
 				}
 			}

@@ -222,7 +222,11 @@ func NewDecoder(r io.Reader) (*Decoder, error) {
 
 // NewDecoderWith is NewDecoder with explicit options.
 func NewDecoderWith(r io.Reader, opts DecoderOptions) (*Decoder, error) {
-	if sr, ok := SectionFor(r); ok {
+	sr, ok, err := SectionFor(r)
+	if err != nil {
+		return nil, err
+	}
+	if ok {
 		if magic, err := PeekMagic(sr); err == nil && magic == traceMagicV2 {
 			return newV2ParallelDecoder(sr, DefaultDecodeWorkers(opts.Workers))
 		}

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -554,27 +555,36 @@ func (c *countingReader) Read(p []byte) (int, error) {
 // r supports random access (io.ReaderAt + io.Seeker), restoring r's seek
 // position. Version-aware openers use it to give v2 containers the
 // block-parallel path while plain streams fall back to sequential decode.
-func SectionFor(r io.Reader) (*io.SectionReader, bool) {
+//
+// ok=false with a nil error means r is a plain stream: its position is
+// unchanged and the caller may fall back to sequential decode. A
+// non-nil error means the probe moved r's position and could not
+// restore it — the reader is no longer usable and the caller must
+// propagate the error rather than read on from an arbitrary offset.
+func SectionFor(r io.Reader) (*io.SectionReader, bool, error) {
 	ra, ok := r.(io.ReaderAt)
 	if !ok {
-		return nil, false
+		return nil, false, nil
 	}
 	sk, ok := r.(io.Seeker)
 	if !ok {
-		return nil, false
+		return nil, false, nil
 	}
 	base, err := sk.Seek(0, io.SeekCurrent)
 	if err != nil {
-		return nil, false
+		return nil, false, nil
 	}
 	end, err := sk.Seek(0, io.SeekEnd)
 	if err != nil {
-		return nil, false
+		return nil, false, nil
 	}
-	if _, err := sk.Seek(base, io.SeekStart); err != nil || end < base {
-		return nil, false
+	if _, err := sk.Seek(base, io.SeekStart); err != nil {
+		return nil, false, fmt.Errorf("trace: restoring position after random-access probe: %w", err)
 	}
-	return io.NewSectionReader(ra, base, end-base), true
+	if end < base {
+		return nil, false, nil
+	}
+	return io.NewSectionReader(ra, base, end-base), true, nil
 }
 
 // PeekMagic reads the 4-byte magic at the start of sr without consuming.
@@ -641,6 +651,7 @@ type v2parallelDecoder struct {
 	abort   chan struct{}
 	stop    sync.Once
 	next    int
+	fail    error
 }
 
 func newV2ParallelDecoder(sr *io.SectionReader, workers int) (*Decoder, error) {
@@ -688,18 +699,25 @@ func newV2ParallelDecoder(sr *io.SectionReader, workers int) (*Decoder, error) {
 	}, nil
 }
 
-// run is one worker: claim the next block, wait for an in-flight slot,
+// run is one worker: wait for an in-flight slot, claim the next block,
 // decode, deliver. The abort channel releases workers when the consumer
 // hits an error or closes the decoder early.
+//
+// The slot MUST be acquired before the index is claimed: the consumer
+// drains results in strict index order and releases a slot only after
+// consuming, so the worker holding the lowest pending index has to own
+// a slot or the pipeline wedges (claim-first lets later claimants fill
+// every slot while the lowest claimant waits on the semaphore forever).
 func (d *v2parallelDecoder) run() {
 	for {
-		i := int(d.claim.Add(1))
-		if i >= len(d.entries) {
-			return
-		}
 		select {
 		case d.sem <- struct{}{}:
 		case <-d.abort:
+			return
+		}
+		i := int(d.claim.Add(1))
+		if i >= len(d.entries) {
+			<-d.sem
 			return
 		}
 		rt, err := d.decodeBlock(d.entries[i])
@@ -724,18 +742,25 @@ func (d *v2parallelDecoder) decodeBlock(e BlockEntry) (*RankTrace, error) {
 }
 
 func (d *v2parallelDecoder) nextRank() (*RankTrace, error) {
+	if d.next >= len(d.entries) {
+		return nil, io.EOF
+	}
+	// Once a decode has failed (or Close aborted the workers), the
+	// pending result channels will never be filled — return the latched
+	// error instead of blocking on them forever.
+	if d.fail != nil {
+		return nil, d.fail
+	}
 	d.start.Do(func() {
 		for w := 0; w < d.workers; w++ {
 			go d.run()
 		}
 	})
-	if d.next >= len(d.entries) {
-		return nil, io.EOF
-	}
 	res := <-d.results[d.next]
 	d.next++
 	<-d.sem
 	if res.err != nil {
+		d.fail = res.err
 		d.closeAbort()
 		return nil, res.err
 	}
@@ -743,7 +768,12 @@ func (d *v2parallelDecoder) nextRank() (*RankTrace, error) {
 }
 
 func (d *v2parallelDecoder) closeAbort() {
-	d.stop.Do(func() { close(d.abort) })
+	d.stop.Do(func() {
+		if d.fail == nil {
+			d.fail = errors.New("trace: decoder closed")
+		}
+		close(d.abort)
+	})
 }
 
 // v2sequentialDecoder decodes TRC2 from a plain stream: blocks in file

@@ -2,9 +2,12 @@ package trace
 
 import (
 	"bytes"
+	"errors"
 	"io"
 	"reflect"
+	"strings"
 	"testing"
+	"time"
 )
 
 // streamOnly hides ReaderAt/Seeker so a decode is forced down the
@@ -184,6 +187,142 @@ func TestV2SequentialParallelIdentical(t *testing.T) {
 	}
 	if !reflect.DeepEqual(par, seq) {
 		t.Error("parallel and sequential decodes of the same container differ")
+	}
+}
+
+// nextRankTimeout calls d.NextRank with a watchdog so a regression that
+// wedges the parallel pipeline fails the test instead of hanging it.
+func nextRankTimeout(t *testing.T, d *Decoder) (*RankTrace, error) {
+	t.Helper()
+	type out struct {
+		rt  *RankTrace
+		err error
+	}
+	ch := make(chan out, 1)
+	go func() {
+		rt, err := d.NextRank()
+		ch <- out{rt, err}
+	}()
+	select {
+	case o := <-ch:
+		return o.rt, o.err
+	case <-time.After(30 * time.Second):
+		t.Fatal("NextRank blocked: parallel decode pipeline wedged")
+		return nil, nil
+	}
+}
+
+// TestDecodeV2ManyRanksFewWorkers floods a small worker pool with many
+// blocks. The worker loop must take an in-flight slot before claiming an
+// index — claim-first lets later claimants fill every slot while the
+// lowest claimant starves, wedging the in-order consumer.
+func TestDecodeV2ManyRanksFewWorkers(t *testing.T) {
+	const nRanks = 64
+	want := New("stress", nRanks)
+	for i := range want.Ranks {
+		base := Time(10 * (i + 1))
+		want.Ranks[i].Events = append(want.Ranks[i].Events,
+			Event{Name: "work", Kind: KindCompute, Enter: base, Exit: base + 5, Peer: NoPeer, Root: NoPeer},
+		)
+	}
+	data := encodeV2Bytes(t, want)
+	for _, workers := range []int{1, 2, 3} {
+		for iter := 0; iter < 8; iter++ {
+			d, err := NewDecoderWith(bytes.NewReader(data), DecoderOptions{Workers: workers})
+			if err != nil {
+				t.Fatalf("workers=%d: NewDecoderWith: %v", workers, err)
+			}
+			got := &Trace{Name: d.Name()}
+			for {
+				rt, err := nextRankTimeout(t, d)
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					t.Fatalf("workers=%d: NextRank: %v", workers, err)
+				}
+				got.Ranks = append(got.Ranks, *rt)
+			}
+			d.Close()
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("workers=%d iter=%d: decoded trace differs", workers, iter)
+			}
+		}
+	}
+}
+
+// TestDecodeV2NextRankAfterError pins the error latch: once a parallel
+// decode fails, further NextRank calls must return an error immediately
+// rather than blocking on result channels no worker will ever fill.
+func TestDecodeV2NextRankAfterError(t *testing.T) {
+	data := encodeV2Bytes(t, v2TestTrace())
+	l := layoutV2(t, data, traceMagicV2)
+	corrupt := append([]byte{}, data...)
+	corrupt[l.entries[0].Offset+blockHeaderSize] ^= 0x40 // break block 0's checksum
+	d, err := NewDecoderWith(bytes.NewReader(corrupt), DecoderOptions{Workers: 2})
+	if err != nil {
+		t.Fatalf("NewDecoderWith: %v", err)
+	}
+	if _, err := nextRankTimeout(t, d); err == nil {
+		t.Fatal("NextRank accepted a corrupt block")
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := nextRankTimeout(t, d); err == nil {
+			t.Fatalf("NextRank call %d after failure returned nil error", i)
+		}
+	}
+}
+
+// TestDecodeV2NextRankAfterClose: NextRank on a closed decoder must
+// error promptly, not wait on aborted workers.
+func TestDecodeV2NextRankAfterClose(t *testing.T) {
+	data := encodeV2Bytes(t, v2TestTrace())
+	d, err := NewDecoder(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nextRankTimeout(t, d); err != nil {
+		t.Fatalf("NextRank: %v", err)
+	}
+	d.Close()
+	if _, err := nextRankTimeout(t, d); err == nil {
+		t.Fatal("NextRank after Close returned nil error")
+	}
+}
+
+// failRestoreReader is random-access (ReaderAt + Seeker) but refuses the
+// absolute seek SectionFor uses to restore the caller's position.
+type failRestoreReader struct {
+	*bytes.Reader
+}
+
+var errRestore = errors.New("injected restore failure")
+
+func (f *failRestoreReader) Seek(off int64, whence int) (int64, error) {
+	if whence == io.SeekStart {
+		return 0, errRestore
+	}
+	return f.Reader.Seek(off, whence)
+}
+
+// TestSectionForRestoreFailure pins the probe's failure contract: when
+// the restoring seek fails the reader sits at EOF, so SectionFor must
+// surface the seek error instead of letting callers fall through to a
+// sequential decode that reports a baffling EOF.
+func TestSectionForRestoreFailure(t *testing.T) {
+	data := encodeV2Bytes(t, v2TestTrace())
+	_, ok, err := SectionFor(&failRestoreReader{bytes.NewReader(data)})
+	if ok {
+		t.Fatal("SectionFor reported ok despite failed restore")
+	}
+	if !errors.Is(err, errRestore) {
+		t.Fatalf("SectionFor error = %v, want wrapped %v", err, errRestore)
+	}
+	if _, err := NewDecoder(&failRestoreReader{bytes.NewReader(data)}); !errors.Is(err, errRestore) {
+		t.Fatalf("NewDecoder error = %v, want wrapped %v", err, errRestore)
+	}
+	if err != nil && strings.Contains(err.Error(), "reading magic") {
+		t.Fatalf("restore failure misreported as a read error: %v", err)
 	}
 }
 
