@@ -1,9 +1,10 @@
 // Codec benchmarks: the two container versions head to head on a
-// mid-size workload — encode, decode (v2 both sequential and
-// block-parallel per worker count), and the committed size ratio.
-// cmd/benchsnap -suite codec runs the fuller sweep and commits it as
-// BENCH_codec.json; these benchmarks are the `go test -bench` view of
-// the same comparison.
+// mid-size workload — encode and decode (v2 both sequential and
+// block-parallel per worker count), the committed size ratio, and the
+// pipelined reduce-to-writer path against the batch reduce-then-encode
+// path. cmd/benchsnap -suite codec runs the fuller sweep and commits it
+// as BENCH_codec.json; these benchmarks are the `go test -bench` view
+// of the same comparison.
 package repro
 
 import (
@@ -45,6 +46,17 @@ func BenchmarkCodecEncode(b *testing.B) {
 			}
 		}
 	})
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("v2-parallel-w%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				err := trace.EncodeV2With(io.Discard, full, trace.EncoderOptions{Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 func BenchmarkCodecDecode(b *testing.B) {
@@ -148,6 +160,59 @@ func BenchmarkCodecReducedRoundTrip(b *testing.B) {
 			if _, err := core.DecodeReduced(bytes.NewReader(v2.Bytes())); err != nil {
 				b.Fatal(err)
 			}
+		}
+	})
+}
+
+// BenchmarkPipelineReduce measures the end-to-end TRC2 -> reduce ->
+// TRR2 path both ways: batch (stream-reduce into a full Reduced, then
+// encode it) against the pipelined ReduceStreamToWriter, which overlaps
+// decode, reduction, and encode and never materializes the Reduced.
+func BenchmarkPipelineReduce(b *testing.B) {
+	full, err := sharedRunner(b).Trace(benchCodecTrace)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var trc2 bytes.Buffer
+	if err := trace.EncodeV2(&trc2, full); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("batch", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			d, err := trace.NewDecoder(bytes.NewReader(trc2.Bytes()))
+			if err != nil {
+				b.Fatal(err)
+			}
+			p, err := core.DefaultMethod("avgWave")
+			if err != nil {
+				b.Fatal(err)
+			}
+			red, err := core.ReduceStream(d.Name(), p, d.NextRank)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := core.EncodeReducedV2With(io.Discard, red, trace.EncoderOptions{}); err != nil {
+				b.Fatal(err)
+			}
+			d.Close()
+		}
+	})
+	b.Run("pipelined", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			d, err := trace.NewDecoder(bytes.NewReader(trc2.Bytes()))
+			if err != nil {
+				b.Fatal(err)
+			}
+			p, err := core.DefaultMethod("avgWave")
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := core.ReduceStreamToWriter(d.Name(), p, d.NextRank, io.Discard, 2); err != nil {
+				b.Fatal(err)
+			}
+			d.Close()
 		}
 	})
 }

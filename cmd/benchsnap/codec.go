@@ -7,14 +7,17 @@ import (
 	"runtime"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/eval"
 	"repro/internal/trace"
 )
 
 // The codec suite measures the two trace container versions against
 // each other: bytes on disk for every study workload, encode/decode
-// cost on representative workloads, and the block-parallel decode
-// scaling that is the v2 format's point. Committed as BENCH_codec.json.
+// cost on representative workloads, the block-parallel decode and
+// encode scaling that are the v2 format's point, and the pipelined
+// reduce-to-writer path against the batch reduce-then-encode path.
+// Committed as BENCH_codec.json.
 
 // SizeRow records both containers' byte sizes for one workload.
 type SizeRow struct {
@@ -39,15 +42,35 @@ type TimeRow struct {
 	DecodeAllocs  float64 `json:"decode_allocs_per_op"`
 }
 
-// ParallelRow records the block-parallel v2 decode at one worker count.
+// ParallelRow records one block-parallel v2 path at one worker count.
 type ParallelRow struct {
-	Workload string  `json:"workload"`
-	Workers  int     `json:"workers"`
-	NsPerOp  float64 `json:"ns_per_op"`
-	// Speedup is the one-worker parallel decode divided by this row.
+	Workload string `json:"workload"`
+	// Op is the measured path: decode or encode.
+	Op          string  `json:"op"`
+	Workers     int     `json:"workers"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// Speedup is the one-worker row of the same op divided by this row.
 	Speedup float64 `json:"speedup"`
-	// SpeedupVsV1 is the v1 sequential decode divided by this row.
+	// SpeedupVsV1 is the v1 sequential cost of the same op divided by
+	// this row.
 	SpeedupVsV1 float64 `json:"speedup_vs_v1"`
+}
+
+// PipelineRow compares the batch path (stream-reduce into a Reduced,
+// then encode it) against the pipelined ReduceStreamToWriter on the
+// same TRC2 input and TRR2 output, at one GOMAXPROCS setting. The
+// pipelined path overlaps decode, reduction, and encode and never
+// materializes the Reduced.
+type PipelineRow struct {
+	Workload        string  `json:"workload"`
+	GOMAXPROCS      int     `json:"gomaxprocs"`
+	BatchNsPerOp    float64 `json:"batch_ns_per_op"`
+	BatchAllocs     float64 `json:"batch_allocs_per_op"`
+	PipelineNsPerOp float64 `json:"pipeline_ns_per_op"`
+	PipelineAllocs  float64 `json:"pipeline_allocs_per_op"`
+	// Speedup is batch ns/op divided by pipeline ns/op.
+	Speedup float64 `json:"speedup"`
 }
 
 // CodecSnapshot is the committed codec benchmark record.
@@ -56,13 +79,16 @@ type CodecSnapshot struct {
 	GoVersion   string `json:"go_version"`
 	GOOS        string `json:"goos"`
 	GOARCH      string `json:"goarch"`
-	// CPUs is runtime.NumCPU() on the snapshot machine. The parallel
-	// rows only show real scaling when it exceeds the worker count; on a
-	// single-CPU machine they measure pure coordination overhead.
-	CPUs     int           `json:"cpus"`
-	Sizes    []SizeRow     `json:"sizes"`
-	Times    []TimeRow     `json:"times"`
-	Parallel []ParallelRow `json:"parallel"`
+	// CPUs is runtime.NumCPU() on the snapshot machine; GOMAXPROCS is
+	// the scheduler width the snapshot ran at. Parallel rows show real
+	// scaling only up to min(CPUs, GOMAXPROCS) workers — beyond that
+	// they measure coordination overhead, which is itself worth pinning.
+	CPUs       int           `json:"cpus"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Sizes      []SizeRow     `json:"sizes"`
+	Times      []TimeRow     `json:"times"`
+	Parallel   []ParallelRow `json:"parallel"`
+	Pipeline   []PipelineRow `json:"pipeline"`
 }
 
 // timedWorkloads are the workloads the ns/op benchmarks run on: a small
@@ -82,11 +108,12 @@ type seqOnly struct{ io.Reader }
 func measureCodec() (*CodecSnapshot, error) {
 	runner := eval.NewRunner()
 	snap := &CodecSnapshot{
-		Description: "container codec comparison: v1 fixed-width vs v2 columnar blocks; sizes over all study workloads, encode/decode cost and block-parallel scaling on representative traces",
+		Description: "container codec comparison: v1 fixed-width vs v2 columnar blocks; sizes over all study workloads, encode/decode cost, block-parallel decode/encode scaling, and batch-vs-pipelined reduce-to-writer on representative traces",
 		GoVersion:   runtime.Version(),
 		GOOS:        runtime.GOOS,
 		GOARCH:      runtime.GOARCH,
 		CPUs:        runtime.NumCPU(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
 	}
 	for _, name := range eval.AllNames() {
 		full, err := runner.Trace(name)
@@ -103,7 +130,7 @@ func measureCodec() (*CodecSnapshot, error) {
 			Ratio:    round2(float64(v2) / float64(v1)),
 		})
 	}
-	var v1DecodeNs float64
+	var v1DecodeNs, v1EncodeNs float64
 	for _, name := range timedWorkloads {
 		full, err := runner.Trace(name)
 		if err != nil {
@@ -159,6 +186,7 @@ func measureCodec() (*CodecSnapshot, error) {
 				name, v.version, row.EncodeNsPerOp, row.EncodeAllocs, row.DecodeNsPerOp, row.DecodeAllocs)
 			if name == parallelWorkload && v.version == "v1" {
 				v1DecodeNs = row.DecodeNsPerOp
+				v1EncodeNs = row.EncodeNsPerOp
 			}
 		}
 	}
@@ -170,42 +198,137 @@ func measureCodec() (*CodecSnapshot, error) {
 	if err := trace.EncodeV2(&v2buf, full); err != nil {
 		return nil, err
 	}
-	var oneWorker float64
-	for _, workers := range parallelWorkers {
-		res := testing.Benchmark(func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				d, err := trace.NewDecoderWith(bytes.NewReader(v2buf.Bytes()),
-					trace.DecoderOptions{Workers: workers})
-				if err != nil {
-					b.Fatal(err)
+	ops := []struct {
+		op   string
+		v1Ns float64
+		run  func(workers int) error
+	}{
+		{"decode", v1DecodeNs, func(workers int) error {
+			d, err := trace.NewDecoderWith(bytes.NewReader(v2buf.Bytes()),
+				trace.DecoderOptions{Workers: workers})
+			if err != nil {
+				return err
+			}
+			defer d.Close()
+			for {
+				if _, err := d.NextRank(); err == io.EOF {
+					return nil
+				} else if err != nil {
+					return err
 				}
-				for {
-					if _, err := d.NextRank(); err == io.EOF {
-						break
-					} else if err != nil {
+			}
+		}},
+		{"encode", v1EncodeNs, func(workers int) error {
+			return trace.EncodeV2With(io.Discard, full, trace.EncoderOptions{Workers: workers})
+		}},
+	}
+	for _, op := range ops {
+		var oneWorker float64
+		for _, workers := range parallelWorkers {
+			res := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if err := op.run(workers); err != nil {
 						b.Fatal(err)
 					}
 				}
-				d.Close()
+			})
+			row := ParallelRow{
+				Workload:    parallelWorkload,
+				Op:          op.op,
+				Workers:     workers,
+				NsPerOp:     float64(res.NsPerOp()),
+				AllocsPerOp: float64(res.AllocsPerOp()),
 			}
-		})
-		row := ParallelRow{
-			Workload: parallelWorkload,
-			Workers:  workers,
-			NsPerOp:  float64(res.NsPerOp()),
+			if workers == 1 {
+				oneWorker = row.NsPerOp
+				row.Speedup = 1
+			} else if row.NsPerOp > 0 {
+				row.Speedup = round2(oneWorker / row.NsPerOp)
+			}
+			if row.NsPerOp > 0 {
+				row.SpeedupVsV1 = round2(op.v1Ns / row.NsPerOp)
+			}
+			snap.Parallel = append(snap.Parallel, row)
+			fmt.Printf("%-12s v2 parallel %s, %d worker(s): %10.0f ns/op (%.0f allocs, %.2fx vs 1 worker, %.2fx vs v1)\n",
+				parallelWorkload, op.op, workers, row.NsPerOp, row.AllocsPerOp, row.Speedup, row.SpeedupVsV1)
 		}
-		if workers == 1 {
-			oneWorker = row.NsPerOp
-			row.Speedup = 1
-		} else if row.NsPerOp > 0 {
-			row.Speedup = round2(oneWorker / row.NsPerOp)
-		}
-		if row.NsPerOp > 0 {
-			row.SpeedupVsV1 = round2(v1DecodeNs / row.NsPerOp)
-		}
-		snap.Parallel = append(snap.Parallel, row)
-		fmt.Printf("%-12s v2 parallel decode, %d worker(s): %10.0f ns/op (%.2fx vs 1 worker, %.2fx vs v1)\n",
-			parallelWorkload, workers, row.NsPerOp, row.Speedup, row.SpeedupVsV1)
+	}
+	if err := measurePipeline(snap, v2buf.Bytes()); err != nil {
+		return nil, err
 	}
 	return snap, nil
+}
+
+// pipelineMethod is the similarity method the pipeline rows reduce with.
+const pipelineMethod = "avgWave"
+
+// measurePipeline benchmarks the end-to-end TRC2 -> reduce -> TRR2 path
+// both ways at each GOMAXPROCS setting: batch (ReduceStream into a full
+// Reduced, then encode it with the default worker pool) against the
+// pipelined ReduceStreamToWriter. Both paths take their worker counts
+// from GOMAXPROCS, so the scheduler width is toggled around each
+// measurement and restored afterwards.
+func measurePipeline(snap *CodecSnapshot, trc2 []byte) error {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	batch := func() error {
+		d, err := trace.NewDecoder(bytes.NewReader(trc2))
+		if err != nil {
+			return err
+		}
+		defer d.Close()
+		p, err := core.DefaultMethod(pipelineMethod)
+		if err != nil {
+			return err
+		}
+		red, err := core.ReduceStream(d.Name(), p, d.NextRank)
+		if err != nil {
+			return err
+		}
+		return core.EncodeReducedV2With(io.Discard, red, trace.EncoderOptions{})
+	}
+	pipelined := func() error {
+		d, err := trace.NewDecoder(bytes.NewReader(trc2))
+		if err != nil {
+			return err
+		}
+		defer d.Close()
+		p, err := core.DefaultMethod(pipelineMethod)
+		if err != nil {
+			return err
+		}
+		_, err = core.ReduceStreamToWriter(d.Name(), p, d.NextRank, io.Discard, 2)
+		return err
+	}
+	prev := runtime.GOMAXPROCS(0)
+	for _, procs := range parallelWorkers {
+		runtime.GOMAXPROCS(procs)
+		bench := func(fn func() error) testing.BenchmarkResult {
+			return testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if err := fn(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+		br, pr := bench(batch), bench(pipelined)
+		runtime.GOMAXPROCS(prev)
+		row := PipelineRow{
+			Workload:        parallelWorkload,
+			GOMAXPROCS:      procs,
+			BatchNsPerOp:    float64(br.NsPerOp()),
+			BatchAllocs:     float64(br.AllocsPerOp()),
+			PipelineNsPerOp: float64(pr.NsPerOp()),
+			PipelineAllocs:  float64(pr.AllocsPerOp()),
+		}
+		if row.PipelineNsPerOp > 0 {
+			row.Speedup = round2(row.BatchNsPerOp / row.PipelineNsPerOp)
+		}
+		snap.Pipeline = append(snap.Pipeline, row)
+		fmt.Printf("%-12s reduce+write gomaxprocs=%d: batch %10.0f ns/op, pipelined %10.0f ns/op (%.2fx)\n",
+			parallelWorkload, procs, row.BatchNsPerOp, row.PipelineNsPerOp, row.Speedup)
+	}
+	return nil
 }

@@ -3,8 +3,10 @@
 // record. The matcher suite covers scan and end-to-end reduction cost
 // per similarity method and match mode on the shared matchbench
 // workload; the codec suite compares the v1 and v2 trace containers —
-// bytes on disk per workload, encode/decode cost, and block-parallel
-// decode scaling per worker count.
+// bytes on disk per workload, encode/decode cost, block-parallel decode
+// and encode scaling per worker count, and the pipelined
+// reduce-to-writer path against the batch reduce-then-encode path per
+// GOMAXPROCS setting.
 //
 // Usage:
 //

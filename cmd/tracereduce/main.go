@@ -21,7 +21,11 @@
 //
 // The trace is decoded, segmented, and reduced rank by rank on a worker
 // pool, so only a pool's worth of ranks is ever held in memory alongside
-// the reduction. With -verify the tool re-reads the full trace,
+// the reduction. With -out the run is fully pipelined: per-rank
+// reduction and reduced-block encoding overlap the decode, the full
+// reduction is never materialized, and the written container is
+// byte-identical to reducing in memory and encoding afterwards. With
+// -verify the tool re-reads the full trace,
 // reconstructs, and reports the approximation distance and trend
 // retention, the remaining two criteria. -cpuprofile/-memprofile write
 // standard pprof profiles of the run, the measurement hooks for matcher
@@ -103,40 +107,65 @@ func run(in, out, method string, threshold float64, mode tracered.MatchMode, fv 
 		f.Close()
 		return fmt.Errorf("reading trace: %w", err)
 	}
-	red, err := tracered.ReduceStreamMode(dec, m, mode)
-	f.Close()
-	if err != nil {
-		return err
-	}
 	// The input file is the encoded full trace, so its size on disk is the
 	// full-trace byte count the paper's size criterion divides by.
 	st, err := os.Stat(in)
 	if err != nil {
+		f.Close()
 		return err
 	}
 	fullBytes := st.Size()
-	redBytes := tracered.ReducedSizeFormat(red, fv)
 	modeNote := ""
 	if mode != tracered.MatchModeExact {
 		modeNote = fmt.Sprintf(" [%s match]", mode)
 	}
-	fmt.Printf("%s + %s(t=%g)%s: %d -> %d bytes (%.2f%%), degree of matching %.3f, %d stored segments\n",
-		red.Name, method, threshold, modeNote, fullBytes, redBytes,
-		100*float64(redBytes)/float64(fullBytes), red.DegreeOfMatching(), red.StoredSegments())
+	summary := func(name string, redBytes int64, degree float64, stored int) {
+		fmt.Printf("%s + %s(t=%g)%s: %d -> %d bytes (%.2f%%), degree of matching %.3f, %d stored segments\n",
+			name, method, threshold, modeNote, fullBytes, redBytes,
+			100*float64(redBytes)/float64(fullBytes), degree, stored)
+	}
 
+	// With an output file the whole run is pipelined: decode, per-rank
+	// reduction, and reduced-block encode overlap, and the full Reduced
+	// is never materialized. Without one, reduce in memory and report.
+	var red *tracered.Reduced
 	if out != "" {
 		g, err := os.Create(out)
 		if err != nil {
+			f.Close()
 			return err
 		}
-		if err := tracered.WriteReducedFormat(g, red, fv); err != nil {
+		stats, err := tracered.ReduceStreamToWriterMode(dec, m, mode, g, fv)
+		f.Close()
+		if err != nil {
 			g.Close()
-			return fmt.Errorf("writing: %w", err)
+			return err
 		}
 		if err := g.Close(); err != nil {
 			return fmt.Errorf("closing: %w", err)
 		}
+		summary(stats.Name, stats.BytesWritten, stats.DegreeOfMatching(), stats.StoredSegments)
 		fmt.Println("wrote", out)
+		if verify {
+			// Score against the reduction actually written, re-read from
+			// the output file (block-parallel for v2 containers).
+			h, err := os.Open(out)
+			if err != nil {
+				return err
+			}
+			red, err = tracered.ReadReduced(h)
+			h.Close()
+			if err != nil {
+				return fmt.Errorf("re-reading %s: %w", out, err)
+			}
+		}
+	} else {
+		red, err = tracered.ReduceStreamMode(dec, m, mode)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		summary(red.Name, tracered.ReducedSizeFormat(red, fv), red.DegreeOfMatching(), red.StoredSegments())
 	}
 	if verify {
 		// Scoring needs the full trace for the approximation-distance and

@@ -44,6 +44,16 @@ func TestCodecV2TraceParity(t *testing.T) {
 			if v2.Len() >= v1.Len() {
 				t.Errorf("v2 container (%d bytes) not smaller than v1 (%d bytes)", v2.Len(), v1.Len())
 			}
+			var v2par bytes.Buffer
+			if err := trace.EncodeV2With(&v2par, full, trace.EncoderOptions{Workers: 4}); err != nil {
+				t.Fatalf("parallel v2 encode: %v", err)
+			}
+			if !bytes.Equal(v2.Bytes(), v2par.Bytes()) {
+				t.Errorf("parallel v2 encode differs from sequential (%d vs %d bytes)", v2par.Len(), v2.Len())
+			}
+			if got := trace.EncodedSizeV2(full); got != int64(v2.Len()) {
+				t.Errorf("EncodedSizeV2 = %d, v2 container is %d bytes", got, v2.Len())
+			}
 			fromV1 := decodeTraceBytes(t, v1.Bytes())
 			fromV2 := decodeTraceBytes(t, v2.Bytes())
 			if !reflect.DeepEqual(fromV1, fromV2) {
@@ -77,6 +87,16 @@ func TestCodecV2ReducedParity(t *testing.T) {
 				}
 				if err := core.EncodeReducedV2(&v2, red); err != nil {
 					t.Fatalf("%s: v2 encode: %v", method, err)
+				}
+				var v2par bytes.Buffer
+				if err := core.EncodeReducedV2With(&v2par, red, trace.EncoderOptions{Workers: 4}); err != nil {
+					t.Fatalf("%s: parallel v2 encode: %v", method, err)
+				}
+				if !bytes.Equal(v2.Bytes(), v2par.Bytes()) {
+					t.Errorf("%s: parallel v2 encode differs from sequential (%d vs %d bytes)", method, v2par.Len(), v2.Len())
+				}
+				if got := core.EncodedReducedSizeV2(red); got != int64(v2.Len()) {
+					t.Errorf("%s: EncodedReducedSizeV2 = %d, v2 container is %d bytes", method, got, v2.Len())
 				}
 				fromV1, err := core.DecodeReduced(bytes.NewReader(v1.Bytes()))
 				if err != nil {

@@ -46,75 +46,72 @@ func EncodedReducedSize(r *Reduced) int64 {
 // EncodeReduced writes r to w in the reduced binary format.
 func EncodeReduced(w io.Writer, r *Reduced) error {
 	bw := bufio.NewWriter(w)
+	nt := reducedNameTable(r)
+	if err := writeReducedV1Header(bw, r.Name, r.Method, nt, len(r.Ranks)); err != nil {
+		return err
+	}
+	var chunk []byte
+	for i := range r.Ranks {
+		chunk = appendRankReducedV1(chunk[:0], nt, &r.Ranks[i])
+		if _, err := bw.Write(chunk); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// writeReducedV1Header writes the TRR1 header: magic, workload name,
+// method, name table, rank count.
+func writeReducedV1Header(bw io.Writer, name, method string, nt *trace.NameTable, nRanks int) error {
 	if _, err := io.WriteString(bw, reducedMagic); err != nil {
 		return err
 	}
-	if err := trace.WriteString(bw, r.Name); err != nil {
+	if err := trace.WriteString(bw, name); err != nil {
 		return err
 	}
-	if err := trace.WriteString(bw, r.Method); err != nil {
+	if err := trace.WriteString(bw, method); err != nil {
 		return err
-	}
-	nt := trace.NewNameTable()
-	for i := range r.Ranks {
-		for _, s := range r.Ranks[i].Stored {
-			nt.ID(s.Context)
-			for _, e := range s.Events {
-				nt.ID(e.Name)
-			}
-		}
 	}
 	le := binary.LittleEndian
 	if err := binary.Write(bw, le, uint32(len(nt.Names()))); err != nil {
 		return err
 	}
-	for _, name := range nt.Names() {
-		if err := trace.WriteString(bw, name); err != nil {
+	for _, s := range nt.Names() {
+		if err := trace.WriteString(bw, s); err != nil {
 			return err
 		}
 	}
-	if err := binary.Write(bw, le, uint32(len(r.Ranks))); err != nil {
-		return err
-	}
+	return binary.Write(bw, le, uint32(nRanks))
+}
+
+// appendRankReducedV1 appends one rank's TRR1 section — rank header,
+// stored segments with fixed-width event records, 12-byte exec records —
+// to dst and returns the extended slice. Both the batch encoder above
+// and the pipelined reduce-to-writer path emit rank sections through
+// this helper, so their bytes agree by construction.
+func appendRankReducedV1(dst []byte, nt trace.NameIDs, rr *RankReduced) []byte {
+	le := binary.LittleEndian
+	dst = le.AppendUint32(dst, uint32(rr.Rank))
+	dst = le.AppendUint32(dst, uint32(len(rr.Stored)))
+	dst = le.AppendUint32(dst, uint32(len(rr.Execs)))
 	var rec [trace.EventRecordSize]byte
-	for i := range r.Ranks {
-		rr := &r.Ranks[i]
-		hdr := []uint32{uint32(rr.Rank), uint32(len(rr.Stored)), uint32(len(rr.Execs))}
-		if err := binary.Write(bw, le, hdr); err != nil {
-			return err
-		}
-		for _, s := range rr.Stored {
-			if err := binary.Write(bw, le, uint32(nt.ID(s.Context))); err != nil {
-				return err
-			}
-			if err := binary.Write(bw, le, s.End); err != nil {
-				return err
-			}
-			if err := binary.Write(bw, le, uint32(s.Weight)); err != nil {
-				return err
-			}
-			if err := binary.Write(bw, le, uint32(len(s.Events))); err != nil {
-				return err
-			}
-			for _, e := range s.Events {
-				trace.PutEventRecord(rec[:], nt.ID(e.Name), e)
-				if _, err := bw.Write(rec[:]); err != nil {
-					return err
-				}
-			}
-		}
-		// Exec records dominate a well-reduced file; write them through a
-		// fixed buffer instead of two reflective binary.Write calls each.
-		var exrec [ExecRecordSize]byte
-		for _, ex := range rr.Execs {
-			le.PutUint32(exrec[0:], uint32(ex.ID))
-			le.PutUint64(exrec[4:], uint64(ex.Start))
-			if _, err := bw.Write(exrec[:]); err != nil {
-				return err
-			}
+	for _, s := range rr.Stored {
+		dst = le.AppendUint32(dst, uint32(nt.ID(s.Context)))
+		dst = le.AppendUint64(dst, uint64(s.End))
+		dst = le.AppendUint32(dst, uint32(s.Weight))
+		dst = le.AppendUint32(dst, uint32(len(s.Events)))
+		for _, e := range s.Events {
+			trace.PutEventRecord(rec[:], nt.ID(e.Name), e)
+			dst = append(dst, rec[:]...)
 		}
 	}
-	return bw.Flush()
+	var exrec [ExecRecordSize]byte
+	for _, ex := range rr.Execs {
+		le.PutUint32(exrec[0:], uint32(ex.ID))
+		le.PutUint64(exrec[4:], uint64(ex.Start))
+		dst = append(dst, exrec[:]...)
+	}
+	return dst
 }
 
 // DecodeReduced reads a reduced trace in the binary format from rd.

@@ -39,63 +39,133 @@ import (
 
 const reducedMagicV2 = "TRR2"
 
-// EncodedReducedSizeV2 returns the byte size EncodeReducedV2 would write.
+// EncodedReducedSizeV2 returns the byte size EncodeReducedV2 would
+// write, computed in a single size-only pass (no second encode).
 func EncodedReducedSizeV2(r *Reduced) int64 {
-	var c trace.CountingWriter
-	if err := EncodeReducedV2(&c, r); err != nil {
-		panic("core: EncodedReducedSizeV2: " + err.Error())
+	nt := reducedNameTable(r)
+	size := int64(len(reducedMagicV2)) + trace.V2StringSize(r.Name) + trace.V2StringSize(r.Method) + 4
+	for _, name := range nt.Names() {
+		size += trace.V2StringSize(name)
 	}
-	return c.N
+	size += 4 // rank count
+	for i := range r.Ranks {
+		payload := rankReducedV2Size(nt, &r.Ranks[i])
+		if payload > trace.MaxBlockPayload {
+			panic(fmt.Sprintf("core: EncodedReducedSizeV2: rank %d block payload %d bytes exceeds the %d-byte format limit",
+				r.Ranks[i].Rank, payload, trace.MaxBlockPayload))
+		}
+		size += trace.V2BlockSize(payload)
+	}
+	return size + trace.V2ContainerTail(len(r.Ranks))
 }
 
-// EncodeReducedV2 writes r to w in the columnar v2 reduced format
-// (TRR2). The v1 format remains the default interchange form.
-func EncodeReducedV2(w io.Writer, r *Reduced) error {
-	bw := trace.NewBlockWriter(w)
+// rankReducedV2Size returns len(appendRankReducedV2(nil, nt, rr)) as a
+// pure size walk.
+func rankReducedV2Size(nt trace.NameIDs, rr *RankReduced) int64 {
+	n := int64(trace.UvarintSize(uint64(len(rr.Stored))) + trace.UvarintSize(uint64(len(rr.Execs))))
+	for _, s := range rr.Stored {
+		n += int64(trace.UvarintSize(uint64(nt.ID(s.Context))))
+		n += int64(trace.VarintSize(s.End))
+		n += int64(trace.UvarintSize(uint64(s.Weight)))
+		n += int64(trace.UvarintSize(uint64(len(s.Events))))
+		n += trace.EventsV2Size(nt, s.Events)
+	}
+	var prev int64
+	for _, ex := range rr.Execs {
+		n += int64(trace.UvarintSize(uint64(ex.ID)))
+		n += int64(trace.VarintSize(ex.Start - prev))
+		prev = ex.Start
+	}
+	return n
+}
+
+// reducedNameTable prescans r and assigns name-table ids rank by rank in
+// first-use order — the id assignment every reduced encoder (v1, v2, and
+// the pipelined writer, which registers one rank at a time) shares.
+func reducedNameTable(r *Reduced) *trace.NameTable {
+	nt := trace.NewNameTable()
+	for i := range r.Ranks {
+		registerRankNames(nt, &r.Ranks[i])
+	}
+	return nt
+}
+
+// registerRankNames assigns ids for one rank's names in the exact order
+// the batch prescan visits them: per stored segment, the context first,
+// then its event names. The pipelined writer calls this per rank as
+// ranks complete, in rank order, which yields the same table.
+func registerRankNames(nt *trace.NameTable, rr *RankReduced) {
+	for _, s := range rr.Stored {
+		nt.ID(s.Context)
+		for _, e := range s.Events {
+			nt.ID(e.Name)
+		}
+	}
+}
+
+// writeReducedV2Header writes the TRR2 container header: magic, workload
+// name, method, name table, rank count.
+func writeReducedV2Header(bw *trace.BlockWriter, name, method string, nt *trace.NameTable, nRanks int) error {
 	if _, err := io.WriteString(bw, reducedMagicV2); err != nil {
 		return err
 	}
-	if err := trace.WriteString(bw, r.Name); err != nil {
+	if err := trace.WriteString(bw, name); err != nil {
 		return err
 	}
-	if err := trace.WriteString(bw, r.Method); err != nil {
+	if err := trace.WriteString(bw, method); err != nil {
 		return err
-	}
-	nt := trace.NewNameTable()
-	for i := range r.Ranks {
-		for _, s := range r.Ranks[i].Stored {
-			nt.ID(s.Context)
-			for _, e := range s.Events {
-				nt.ID(e.Name)
-			}
-		}
 	}
 	le := binary.LittleEndian
 	if err := binary.Write(bw, le, uint32(len(nt.Names()))); err != nil {
 		return err
 	}
-	for _, name := range nt.Names() {
-		if err := trace.WriteString(bw, name); err != nil {
+	for _, s := range nt.Names() {
+		if err := trace.WriteString(bw, s); err != nil {
 			return err
 		}
 	}
-	if err := binary.Write(bw, le, uint32(len(r.Ranks))); err != nil {
+	return binary.Write(bw, le, uint32(nRanks))
+}
+
+// EncodeReducedV2 writes r to w in the columnar v2 reduced format
+// (TRR2). It is the sequential reference; EncodeReducedV2With produces
+// identical bytes on a worker pool. The v1 format remains the default
+// interchange form.
+func EncodeReducedV2(w io.Writer, r *Reduced) error {
+	return encodeReducedV2(w, r, 1)
+}
+
+// EncodeReducedV2With is EncodeReducedV2 with explicit options: rank
+// blocks are encoded concurrently by opts.Workers goroutines and
+// committed in file order, byte-identical to the sequential encoder.
+func EncodeReducedV2With(w io.Writer, r *Reduced, opts trace.EncoderOptions) error {
+	return encodeReducedV2(w, r, trace.DefaultEncodeWorkers(opts.Workers))
+}
+
+func encodeReducedV2(w io.Writer, r *Reduced, workers int) error {
+	bw := trace.NewBlockWriter(w)
+	nt := reducedNameTable(r)
+	if err := writeReducedV2Header(bw, r.Name, r.Method, nt, len(r.Ranks)); err != nil {
 		return err
 	}
-	var payload []byte
-	for i := range r.Ranks {
-		rr := &r.Ranks[i]
-		payload = appendRankReducedV2(payload[:0], nt, rr)
-		records := uint32(len(rr.Stored) + len(rr.Execs))
-		if err := bw.WriteBlock(uint32(rr.Rank), records, payload); err != nil {
-			return err
-		}
+	// The prescan registered every name, so concurrent encoders only
+	// read the table — safe without locks.
+	err := bw.WriteBlocksParallel(len(r.Ranks), workers,
+		func(i int) (uint32, uint32) {
+			rr := &r.Ranks[i]
+			return uint32(rr.Rank), uint32(len(rr.Stored) + len(rr.Execs))
+		},
+		func(i int, dst []byte) []byte {
+			return appendRankReducedV2(dst, nt, &r.Ranks[i])
+		})
+	if err != nil {
+		return err
 	}
 	return bw.Finish(reducedMagicV2)
 }
 
 // appendRankReducedV2 appends one rank's v2 block payload to dst.
-func appendRankReducedV2(dst []byte, nt *trace.NameTable, rr *RankReduced) []byte {
+func appendRankReducedV2(dst []byte, nt trace.NameIDs, rr *RankReduced) []byte {
 	dst = binary.AppendUvarint(dst, uint64(len(rr.Stored)))
 	dst = binary.AppendUvarint(dst, uint64(len(rr.Execs)))
 	for _, s := range rr.Stored {
@@ -274,6 +344,10 @@ func decodeReducedV2Parallel(sr *io.SectionReader, workers int) (*Reduced, error
 		errOnce sync.Once
 		failed  atomic.Bool
 		firstEr error
+		// bufs recycles block read buffers: parsed segments hold
+		// name-table strings and decoded values, never payload bytes, so
+		// a buffer is free for reuse once its block has been parsed.
+		bufs sync.Pool
 	)
 	claim.Store(-1)
 	for w := 0; w < max(workers, 1); w++ {
@@ -291,10 +365,15 @@ func decodeReducedV2Parallel(sr *io.SectionReader, workers int) (*Reduced, error
 				if i >= len(entries) {
 					return
 				}
-				payload, err := trace.ReadBlockAt(sr, entries[i])
+				var buf []byte
+				if bp, _ := bufs.Get().(*[]byte); bp != nil {
+					buf = *bp
+				}
+				payload, buf, err := trace.ReadBlockAtBuf(sr, entries[i], buf)
 				if err == nil {
 					r.Ranks[i], err = parseRankReducedV2(entries[i], payload, names)
 				}
+				bufs.Put(&buf)
 				if err != nil {
 					errOnce.Do(func() { firstEr = err })
 					failed.Store(true)

@@ -1,0 +1,255 @@
+package core
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+
+	"repro/internal/trace"
+)
+
+// Pipelined reduce-to-writer path: decode, per-rank reduction, and
+// reduced-block encode all overlap. Each rank's reduced block is encoded
+// by the worker that finished reducing that rank, while other workers
+// are still pulling ranks from the source; only the final container
+// assembly (header + spooled blocks + footer) is serial. The output is
+// byte-identical to encoding the batch ReduceStreamMode result.
+//
+// Byte identity hinges on the name table: the batch encoders assign ids
+// in first-use order scanning ranks 0,1,2,…, so the ids a rank's block
+// needs depend only on ranks ≤ it. The pipeline reproduces that by
+// registering each rank's names in strict rank order (a turnstile on the
+// shared table) and snapshotting the rank's ids into a private read-only
+// map, which the worker then encodes from without further
+// synchronization. Because the table and the rank count live in the
+// container header, no output byte can be emitted before the source is
+// exhausted — encoded blocks are spooled in memory instead. Peak memory
+// is O(workers) raw ranks plus the compact encoded blocks, far below the
+// batch path's full trace + full Reduced.
+
+// StreamStats summarizes a pipelined reduce-to-writer run: the reduction
+// counters (matching the Reduced the batch path would have built) plus
+// the bytes written.
+type StreamStats struct {
+	// Name and Method identify the workload and similarity policy.
+	Name   string
+	Method string
+	// Ranks counts the ranks reduced and written.
+	Ranks int
+	// TotalSegments, Matches, and PossibleMatches mirror the Reduced
+	// counters of the batch reduction.
+	TotalSegments   int
+	Matches         int
+	PossibleMatches int
+	// StoredSegments counts the representatives kept across all ranks.
+	StoredSegments int
+	// BytesWritten is the size of the reduced container produced.
+	BytesWritten int64
+}
+
+// DegreeOfMatching returns Matches/PossibleMatches, the paper's quality
+// metric, mirroring Reduced.DegreeOfMatching.
+func (s *StreamStats) DegreeOfMatching() float64 {
+	if s.PossibleMatches == 0 {
+		return 1
+	}
+	return float64(s.Matches) / float64(s.PossibleMatches)
+}
+
+// rankNameIDs is one rank's slice of the shared name table, captured at
+// registration time while the turnstile lock is held. Encode workers
+// read it lock-free while later ranks keep registering new names into
+// the shared table.
+type rankNameIDs map[string]uint32
+
+func (m rankNameIDs) ID(name string) uint32 { return m[name] }
+
+// snapshotRankNames registers one rank's names into nt (in the batch
+// prescan's visit order) and returns the rank's private id snapshot.
+func snapshotRankNames(nt *trace.NameTable, rr *RankReduced) rankNameIDs {
+	ids := make(rankNameIDs)
+	for _, s := range rr.Stored {
+		ids[s.Context] = nt.ID(s.Context)
+		for _, e := range s.Events {
+			ids[e.Name] = nt.ID(e.Name)
+		}
+	}
+	return ids
+}
+
+// passthroughCounter counts the bytes actually forwarded to w.
+type passthroughCounter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *passthroughCounter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// ReduceStreamToWriter reduces the rank stream next (ReduceStream's
+// contract: one rank per call, io.EOF at the end) and writes the reduced
+// container to w in the given format version (1 = TRR1, 2 = TRR2),
+// byte-identical to EncodeReduced/EncodeReducedV2 of the batch
+// ReduceStream result, with the exact first-match scan.
+func ReduceStreamToWriter(name string, p Policy, next func() (*trace.RankTrace, error), w io.Writer, version int) (*StreamStats, error) {
+	return ReduceStreamToWriterMode(name, p, MatchModeExact, next, w, version)
+}
+
+// ReduceStreamToWriterMode is ReduceStreamToWriter under an explicit
+// MatchMode (see MatchMode for the per-mode guarantees).
+func ReduceStreamToWriterMode(name string, p Policy, mode MatchMode, next func() (*trace.RankTrace, error), w io.Writer, version int) (*StreamStats, error) {
+	if version != 1 && version != 2 {
+		return nil, fmt.Errorf("core: unknown reduced container version %d", version)
+	}
+	var (
+		srcMu    sync.Mutex // serializes next and the arrival counter
+		arrivals int
+		firstErr error
+
+		// The registration turnstile: rank i's worker may register its
+		// names only once ranks 0..i-1 have registered theirs, so the
+		// shared table grows exactly as the batch prescan would.
+		regMu   sync.Mutex
+		regCond = sync.NewCond(&regMu)
+		regTurn int
+		aborted bool
+
+		nt = trace.NewNameTable()
+
+		outMu  sync.Mutex // guards chunks/metas growth and the counters
+		chunks [][]byte
+		ranks  []uint32
+		counts []uint32
+	)
+	abortReg := func() {
+		regMu.Lock()
+		aborted = true
+		regCond.Broadcast()
+		regMu.Unlock()
+	}
+	fail := func(err error) {
+		srcMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		srcMu.Unlock()
+		// Wake turnstile waiters: the failed rank will never take its
+		// turn, so blocked later ranks must be released.
+		abortReg()
+	}
+	stats := &StreamStats{Name: name, Method: p.Name()}
+	workers := runtime.GOMAXPROCS(0)
+	var wg sync.WaitGroup
+	for wkr := 0; wkr < workers; wkr++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				srcMu.Lock()
+				if firstErr != nil {
+					srcMu.Unlock()
+					return
+				}
+				rt, err := next()
+				i := arrivals
+				if err == nil {
+					arrivals++
+				} else if err != io.EOF {
+					firstErr = err
+				}
+				srcMu.Unlock()
+				if err != nil {
+					if err != io.EOF {
+						abortReg()
+					}
+					return
+				}
+				r := NewRankReducerMode(i, p, mode)
+				if err := r.FeedEvents(rt.Rank, rt.Events); err != nil {
+					fail(fmt.Errorf("trace %q: %w", name, err))
+					return
+				}
+				rr := r.Finish()
+				// Every claimed index takes its registration turn unless
+				// the run aborts, so the turn sequence stays contiguous
+				// and no waiter is stranded.
+				regMu.Lock()
+				for regTurn != i && !aborted {
+					regCond.Wait()
+				}
+				if aborted {
+					regMu.Unlock()
+					return
+				}
+				ids := snapshotRankNames(nt, &rr)
+				regTurn++
+				regCond.Broadcast()
+				regMu.Unlock()
+				// Encode this rank's block concurrently from the private
+				// id snapshot; the raw rank and reducer state die here,
+				// only the compact chunk is spooled.
+				var chunk []byte
+				if version == 2 {
+					chunk = appendRankReducedV2(nil, ids, &rr)
+				} else {
+					chunk = appendRankReducedV1(nil, ids, &rr)
+				}
+				outMu.Lock()
+				for len(chunks) <= i {
+					chunks = append(chunks, nil)
+					ranks = append(ranks, 0)
+					counts = append(counts, 0)
+				}
+				chunks[i] = chunk
+				ranks[i] = uint32(rr.Rank)
+				counts[i] = uint32(len(rr.Stored) + len(rr.Execs))
+				stats.TotalSegments += r.TotalSegments()
+				stats.Matches += r.Matches()
+				stats.PossibleMatches += r.PossibleMatches()
+				stats.StoredSegments += len(rr.Stored)
+				outMu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	stats.Ranks = len(chunks)
+	cw := &passthroughCounter{w: w}
+	switch version {
+	case 2:
+		bw := trace.NewBlockWriter(cw)
+		if err := writeReducedV2Header(bw, name, p.Name(), nt, len(chunks)); err != nil {
+			return nil, err
+		}
+		for i, chunk := range chunks {
+			if err := bw.WriteBlock(ranks[i], counts[i], chunk); err != nil {
+				return nil, err
+			}
+		}
+		if err := bw.Finish(reducedMagicV2); err != nil {
+			return nil, err
+		}
+	default:
+		bw := bufio.NewWriter(cw)
+		if err := writeReducedV1Header(bw, name, p.Name(), nt, len(chunks)); err != nil {
+			return nil, err
+		}
+		for _, chunk := range chunks {
+			if _, err := bw.Write(chunk); err != nil {
+				return nil, err
+			}
+		}
+		if err := bw.Flush(); err != nil {
+			return nil, err
+		}
+	}
+	stats.BytesWritten = cw.n
+	return stats, nil
+}

@@ -1,0 +1,315 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// rankSource returns a ReduceStream-style next function over tr's ranks.
+func rankSource(tr *trace.Trace) func() (*trace.RankTrace, error) {
+	i := 0
+	return func() (*trace.RankTrace, error) {
+		if i >= len(tr.Ranks) {
+			return nil, io.EOF
+		}
+		rt := &tr.Ranks[i]
+		i++
+		return rt, nil
+	}
+}
+
+// forceWorkers raises GOMAXPROCS for the test so the pipeline actually
+// runs multiple workers (and the registration turnstile is exercised)
+// even on a single-CPU machine.
+func forceWorkers(t *testing.T, n int) {
+	t.Helper()
+	prev := runtime.GOMAXPROCS(n)
+	t.Cleanup(func() { runtime.GOMAXPROCS(prev) })
+}
+
+// TestReduceStreamToWriterParity pins the tentpole guarantee end to end:
+// the pipelined reduce-to-writer bytes are identical to encoding the
+// batch ReduceStream result, for both container versions, and the
+// returned stats match the batch reduction's counters.
+func TestReduceStreamToWriterParity(t *testing.T) {
+	forceWorkers(t, 4)
+	rng := rand.New(rand.NewSource(99))
+	tr := buildMultiRankTrace("pipelined", 16, 15, rng)
+	for _, name := range []string{"avgWave", "iter_avg", "euclidean"} {
+		p1, _ := DefaultMethod(name)
+		batch, err := ReduceStream(tr.Name, p1, rankSource(tr))
+		if err != nil {
+			t.Fatalf("%s: ReduceStream: %v", name, err)
+		}
+		for _, version := range []int{1, 2} {
+			var want bytes.Buffer
+			var encErr error
+			if version == 2 {
+				encErr = EncodeReducedV2(&want, batch)
+			} else {
+				encErr = EncodeReduced(&want, batch)
+			}
+			if encErr != nil {
+				t.Fatalf("%s v%d: batch encode: %v", name, version, encErr)
+			}
+			p2, _ := DefaultMethod(name)
+			var got bytes.Buffer
+			stats, err := ReduceStreamToWriter(tr.Name, p2, rankSource(tr), &got, version)
+			if err != nil {
+				t.Fatalf("%s v%d: ReduceStreamToWriter: %v", name, version, err)
+			}
+			if !bytes.Equal(want.Bytes(), got.Bytes()) {
+				t.Errorf("%s v%d: pipelined container differs from batch (%d vs %d bytes)",
+					name, version, got.Len(), want.Len())
+			}
+			if stats.BytesWritten != int64(got.Len()) {
+				t.Errorf("%s v%d: BytesWritten = %d, wrote %d", name, version, stats.BytesWritten, got.Len())
+			}
+			if stats.Ranks != len(batch.Ranks) ||
+				stats.TotalSegments != batch.TotalSegments ||
+				stats.Matches != batch.Matches ||
+				stats.PossibleMatches != batch.PossibleMatches ||
+				stats.StoredSegments != batch.StoredSegments() {
+				t.Errorf("%s v%d: stats %+v disagree with batch counters (%d ranks, %d/%d/%d, %d stored)",
+					name, version, stats, len(batch.Ranks),
+					batch.TotalSegments, batch.Matches, batch.PossibleMatches, batch.StoredSegments())
+			}
+			if stats.DegreeOfMatching() != batch.DegreeOfMatching() {
+				t.Errorf("%s v%d: DegreeOfMatching %v != batch %v",
+					name, version, stats.DegreeOfMatching(), batch.DegreeOfMatching())
+			}
+			if stats.Name != tr.Name || stats.Method != name {
+				t.Errorf("%s v%d: stats identity = %q/%q", name, version, stats.Name, stats.Method)
+			}
+		}
+	}
+}
+
+// TestReduceStreamToWriterEmpty: an immediately-EOF source must still
+// produce a valid empty container, byte-identical to the batch path.
+func TestReduceStreamToWriterEmpty(t *testing.T) {
+	empty := &Reduced{Name: "empty", Method: "avgWave"}
+	for _, version := range []int{1, 2} {
+		var want bytes.Buffer
+		if version == 2 {
+			if err := EncodeReducedV2(&want, empty); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			if err := EncodeReduced(&want, empty); err != nil {
+				t.Fatal(err)
+			}
+		}
+		p, _ := DefaultMethod("avgWave")
+		var got bytes.Buffer
+		stats, err := ReduceStreamToWriter("empty", p, rankSource(trace.New("empty", 0)), &got, version)
+		if err != nil {
+			t.Fatalf("v%d: %v", version, err)
+		}
+		if !bytes.Equal(want.Bytes(), got.Bytes()) {
+			t.Errorf("v%d: empty pipelined container differs from batch", version)
+		}
+		if stats.Ranks != 0 || stats.DegreeOfMatching() != 1 {
+			t.Errorf("v%d: empty stats %+v", version, stats)
+		}
+	}
+}
+
+var errPipeInjected = errors.New("injected pipeline write failure")
+
+// pipeFailWriter accepts limit bytes, then fails every Write.
+type pipeFailWriter struct {
+	limit int
+	n     int
+}
+
+func (w *pipeFailWriter) Write(p []byte) (int, error) {
+	if w.n+len(p) > w.limit {
+		k := max(w.limit-w.n, 0)
+		w.n += k
+		return k, errPipeInjected
+	}
+	w.n += len(p)
+	return len(p), nil
+}
+
+// pipeShortWriter accepts limit bytes, then accepts nothing without
+// erroring; the buffered writer must turn that into io.ErrShortWrite.
+type pipeShortWriter struct {
+	limit int
+	n     int
+}
+
+func (w *pipeShortWriter) Write(p []byte) (int, error) {
+	k := min(len(p), max(w.limit-w.n, 0))
+	w.n += k
+	return k, nil
+}
+
+// pipelineTimeout runs fn with a watchdog so a wedged pipeline fails
+// the test instead of hanging it.
+func pipelineTimeout(t *testing.T, what string, fn func() error) error {
+	t.Helper()
+	ch := make(chan error, 1)
+	go func() { ch <- fn() }()
+	select {
+	case err := <-ch:
+		return err
+	case <-time.After(30 * time.Second):
+		t.Fatalf("%s blocked: reduce-to-writer pipeline wedged", what)
+		return nil
+	}
+}
+
+// waitPipelineGoroutines fails if goroutines leak past the pre-test
+// level after the error paths.
+func waitPipelineGoroutines(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak: %d goroutines before, %d after pipeline failure",
+				before, runtime.NumGoroutine())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestReduceStreamToWriterFailingWriter sweeps an injected write
+// failure across both container versions: every fault point must yield
+// a clean latched error, promptly, with all workers stopped.
+func TestReduceStreamToWriterFailingWriter(t *testing.T) {
+	forceWorkers(t, 4)
+	rng := rand.New(rand.NewSource(3))
+	tr := buildMultiRankTrace("failing", 8, 10, rng)
+	before := runtime.NumGoroutine()
+	for _, version := range []int{1, 2} {
+		p, _ := DefaultMethod("avgWave")
+		var full bytes.Buffer
+		if _, err := ReduceStreamToWriter(tr.Name, p, rankSource(tr), &full, version); err != nil {
+			t.Fatalf("v%d: clean run: %v", version, err)
+		}
+		size := full.Len()
+		limits := []int{0, 1, 3, size / 3, size / 2, size - 1}
+		for _, limit := range limits {
+			label := fmt.Sprintf("v%d limit=%d", version, limit)
+			p, _ := DefaultMethod("avgWave")
+			err := pipelineTimeout(t, label, func() error {
+				_, err := ReduceStreamToWriter(tr.Name, p, rankSource(tr), &pipeFailWriter{limit: limit}, version)
+				return err
+			})
+			if !errors.Is(err, errPipeInjected) {
+				t.Fatalf("%s: error = %v, want injected write failure", label, err)
+			}
+			label = fmt.Sprintf("v%d short=%d", version, limit)
+			p, _ = DefaultMethod("avgWave")
+			err = pipelineTimeout(t, label, func() error {
+				_, err := ReduceStreamToWriter(tr.Name, p, rankSource(tr), &pipeShortWriter{limit: limit}, version)
+				return err
+			})
+			if !errors.Is(err, io.ErrShortWrite) {
+				t.Fatalf("%s: error = %v, want io.ErrShortWrite", label, err)
+			}
+		}
+	}
+	waitPipelineGoroutines(t, before)
+}
+
+// TestReduceStreamToWriterSourceError: decoder and reducer failures must
+// propagate out of the pipeline without wedging the turnstile.
+func TestReduceStreamToWriterSourceError(t *testing.T) {
+	forceWorkers(t, 4)
+	before := runtime.NumGoroutine()
+	errSource := errors.New("injected source failure")
+	t.Run("decode-error", func(t *testing.T) {
+		rng := rand.New(rand.NewSource(5))
+		tr := buildMultiRankTrace("src", 6, 8, rng)
+		i := 0
+		next := func() (*trace.RankTrace, error) {
+			if i >= 3 {
+				return nil, errSource
+			}
+			rt := &tr.Ranks[i]
+			i++
+			return rt, nil
+		}
+		p, _ := DefaultMethod("avgWave")
+		err := pipelineTimeout(t, "decode-error", func() error {
+			_, err := ReduceStreamToWriter(tr.Name, p, next, io.Discard, 2)
+			return err
+		})
+		if !errors.Is(err, errSource) {
+			t.Fatalf("error = %v, want injected source failure", err)
+		}
+	})
+	t.Run("reduce-error", func(t *testing.T) {
+		// An unclosed segment in a middle rank must fail the stream.
+		tr := trace.New("bad", 3)
+		for r := 0; r < 3; r++ {
+			tr.Ranks[r].Events = []trace.Event{
+				{Name: "main.1", Kind: trace.KindMarkBegin, Peer: trace.NoPeer, Root: trace.NoPeer},
+				{Name: "w", Kind: trace.KindCompute, Exit: 5, Peer: trace.NoPeer, Root: trace.NoPeer},
+				{Name: "main.1", Kind: trace.KindMarkEnd, Enter: 6, Exit: 6, Peer: trace.NoPeer, Root: trace.NoPeer},
+			}
+		}
+		tr.Ranks[1].Events = tr.Ranks[1].Events[:1] // unclosed segment
+		err := pipelineTimeout(t, "reduce-error", func() error {
+			_, err := ReduceStreamToWriter("bad", NewIterAvg(), rankSource(tr), io.Discard, 1)
+			return err
+		})
+		if err == nil {
+			t.Fatal("pipeline accepted an unclosed segment")
+		}
+	})
+	waitPipelineGoroutines(t, before)
+}
+
+// TestReduceStreamToWriterBadVersion: unknown container versions are
+// rejected before any work happens.
+func TestReduceStreamToWriterBadVersion(t *testing.T) {
+	p, _ := DefaultMethod("avgWave")
+	for _, v := range []int{0, 3, -1} {
+		if _, err := ReduceStreamToWriter("x", p, rankSource(trace.New("x", 0)), io.Discard, v); err == nil {
+			t.Errorf("version %d accepted", v)
+		}
+	}
+}
+
+// TestEncodeReducedV2ParallelParity pins byte identity of the parallel
+// TRR2 encoder against the sequential reference at every worker count.
+func TestEncodeReducedV2ParallelParity(t *testing.T) {
+	red := v2TestReduced()
+	want := encodeReducedV2Bytes(t, red)
+	for _, workers := range []int{0, 1, 2, 3, 8, 64} {
+		var buf bytes.Buffer
+		if err := EncodeReducedV2With(&buf, red, trace.EncoderOptions{Workers: workers}); err != nil {
+			t.Fatalf("workers=%d: EncodeReducedV2With: %v", workers, err)
+		}
+		if !bytes.Equal(want, buf.Bytes()) {
+			t.Errorf("workers=%d: parallel reduced encode differs from sequential (%d vs %d bytes)",
+				workers, buf.Len(), len(want))
+		}
+	}
+}
+
+// TestEncodedReducedSizeV2SinglePass: the size walk must agree exactly
+// with the encoder's output.
+func TestEncodedReducedSizeV2SinglePass(t *testing.T) {
+	for name, red := range map[string]*Reduced{
+		"edge-shapes": v2TestReduced(),
+		"empty":       {Name: "empty", Method: "avgWave"},
+	} {
+		data := encodeReducedV2Bytes(t, red)
+		if got := EncodedReducedSizeV2(red); got != int64(len(data)) {
+			t.Errorf("%s: EncodedReducedSizeV2 = %d, encoded %d bytes", name, got, len(data))
+		}
+	}
+}

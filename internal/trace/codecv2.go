@@ -88,10 +88,16 @@ type BlockEntry struct {
 // BlockWriter writes a v2 block container: header bytes through Write,
 // then one WriteBlock per rank, then Finish for the footer. It tracks
 // offsets and accumulates the footer index as blocks are written.
+//
+// The first error — from the underlying writer or from an oversized
+// payload — is latched: every subsequent Write, WriteBlock, or Finish
+// call returns it, so a failing or short destination cannot leave a
+// partially-consistent container behind a later nil return.
 type BlockWriter struct {
 	bw      *bufio.Writer
 	off     uint64
 	entries []BlockEntry
+	fail    error
 }
 
 // NewBlockWriter returns a BlockWriter emitting to w.
@@ -102,17 +108,30 @@ func NewBlockWriter(w io.Writer) *BlockWriter {
 // Write implements io.Writer for the container header, tracking the
 // running offset.
 func (b *BlockWriter) Write(p []byte) (int, error) {
+	if b.fail != nil {
+		return 0, b.fail
+	}
 	n, err := b.bw.Write(p)
 	b.off += uint64(n)
+	if err != nil {
+		b.fail = err
+	}
 	return n, err
 }
+
+// Err returns the latched first error, if any.
+func (b *BlockWriter) Err() error { return b.fail }
 
 // WriteBlock writes one block (inline header + payload) and records its
 // footer index entry.
 func (b *BlockWriter) WriteBlock(rank, records uint32, payload []byte) error {
+	if b.fail != nil {
+		return b.fail
+	}
 	if len(payload) > maxBlockPayload {
-		return fmt.Errorf("trace: rank %d block payload %d bytes exceeds the %d-byte format limit",
+		b.fail = fmt.Errorf("trace: rank %d block payload %d bytes exceeds the %d-byte format limit",
 			rank, len(payload), maxBlockPayload)
+		return b.fail
 	}
 	e := BlockEntry{
 		Offset:  b.off,
@@ -138,6 +157,9 @@ func (b *BlockWriter) WriteBlock(rank, records uint32, payload []byte) error {
 // Finish writes the footer block index and trailer (index offset +
 // magic) and flushes.
 func (b *BlockWriter) Finish(magic string) error {
+	if b.fail != nil {
+		return b.fail
+	}
 	indexOff := b.off
 	le := binary.LittleEndian
 	var u32 [4]byte
@@ -162,7 +184,11 @@ func (b *BlockWriter) Finish(magic string) error {
 	if _, err := b.Write(tail[:]); err != nil {
 		return err
 	}
-	return b.bw.Flush()
+	if err := b.bw.Flush(); err != nil {
+		b.fail = err
+		return err
+	}
+	return nil
 }
 
 // ReadBlockIndex reads a v2 footer from ra (a container of size bytes
@@ -241,9 +267,23 @@ func ReadBlockIndex(ra io.ReaderAt, size int64, magic string, headerEnd uint64) 
 // ReadBlockAt reads block e from ra, verifying the inline header against
 // the index entry and the payload checksum, and returns the payload.
 func ReadBlockAt(ra io.ReaderAt, e BlockEntry) ([]byte, error) {
-	buf := make([]byte, blockHeaderSize+int(e.Length))
+	payload, _, err := ReadBlockAtBuf(ra, e, nil)
+	return payload, err
+}
+
+// ReadBlockAtBuf is ReadBlockAt reading through buf when its capacity
+// suffices, so pooled callers avoid a fresh allocation per block. It
+// returns the payload plus the backing buffer actually used (grown when
+// buf was too small); the payload aliases the backing buffer, so the
+// caller may recycle the backing only once the payload is fully parsed.
+func ReadBlockAtBuf(ra io.ReaderAt, e BlockEntry, buf []byte) (payload, backing []byte, err error) {
+	need := blockHeaderSize + int(e.Length)
+	if cap(buf) < need {
+		buf = make([]byte, need)
+	}
+	buf = buf[:need]
 	if _, err := ra.ReadAt(buf, int64(e.Offset)); err != nil {
-		return nil, fmt.Errorf("trace: reading block for rank %d: %w", e.Rank, noEOF(err))
+		return nil, buf, fmt.Errorf("trace: reading block for rank %d: %w", e.Rank, noEOF(err))
 	}
 	le := binary.LittleEndian
 	got := BlockEntry{
@@ -254,13 +294,13 @@ func ReadBlockAt(ra io.ReaderAt, e BlockEntry) ([]byte, error) {
 		CRC:     le.Uint32(buf[12:]),
 	}
 	if got != e {
-		return nil, fmt.Errorf("trace: block header %+v does not match index entry %+v", got, e)
+		return nil, buf, fmt.Errorf("trace: block header %+v does not match index entry %+v", got, e)
 	}
-	payload := buf[blockHeaderSize:]
+	payload = buf[blockHeaderSize:]
 	if crc := CRC32C(payload); crc != e.CRC {
-		return nil, fmt.Errorf("trace: rank %d block checksum %08x, want %08x", e.Rank, crc, e.CRC)
+		return nil, buf, fmt.Errorf("trace: rank %d block checksum %08x, want %08x", e.Rank, crc, e.CRC)
 	}
-	return payload, nil
+	return payload, buf, nil
 }
 
 // ReadBlock reads the next inline block from r sequentially. offset is
@@ -381,11 +421,24 @@ func (c *Cursor) Done() error {
 	return nil
 }
 
+// NameIDs resolves event names to their v2 name-table ids. *NameTable
+// implements it; the pipelined reduce-to-writer path substitutes
+// immutable per-rank snapshots so encode workers can read ids without
+// synchronizing against later ranks still registering names.
+//
+// Implementations handed to the concurrent encoders must be safe for
+// lock-free reads: either fully pre-populated (a prescanned NameTable is
+// never written during encode) or a plain read-only map.
+type NameIDs interface {
+	// ID returns the table id for name, which must already be present.
+	ID(name string) uint32
+}
+
 // AppendEventsV2 appends the v2 varint encoding of events to dst and
 // returns the extended slice. Enter stamps are delta-encoded against the
 // previous event in the slice (the chain starts at 0, so stored-segment
 // events, which are relative to the segment start, encode compactly too).
-func AppendEventsV2(dst []byte, nt *NameTable, events []Event) []byte {
+func AppendEventsV2(dst []byte, nt NameIDs, events []Event) []byte {
 	var prev Time
 	for _, e := range events {
 		dst = binary.AppendUvarint(dst, uint64(nt.ID(e.Name)))
@@ -486,56 +539,6 @@ func (c *Cursor) varint32(field string) (int32, error) {
 		return 0, fmt.Errorf("trace: %s value %d overflows int32", field, v)
 	}
 	return int32(v), nil
-}
-
-// EncodeV2 writes t to w in the columnar v2 trace format (TRC2): one
-// delta+varint block per rank, checksummed and indexed by the footer.
-// The v1 format remains the default interchange form; see docs/FORMATS.md
-// for when to prefer v2.
-func EncodeV2(w io.Writer, t *Trace) error {
-	bw := NewBlockWriter(w)
-	if _, err := io.WriteString(bw, traceMagicV2); err != nil {
-		return err
-	}
-	if err := WriteString(bw, t.Name); err != nil {
-		return err
-	}
-	nt := NewNameTable()
-	for i := range t.Ranks {
-		for _, e := range t.Ranks[i].Events {
-			nt.ID(e.Name)
-		}
-	}
-	le := binary.LittleEndian
-	if err := binary.Write(bw, le, uint32(len(nt.names))); err != nil {
-		return err
-	}
-	for _, name := range nt.names {
-		if err := WriteString(bw, name); err != nil {
-			return err
-		}
-	}
-	if err := binary.Write(bw, le, uint32(len(t.Ranks))); err != nil {
-		return err
-	}
-	var payload []byte
-	for i := range t.Ranks {
-		rt := &t.Ranks[i]
-		payload = AppendEventsV2(payload[:0], nt, rt.Events)
-		if err := bw.WriteBlock(uint32(rt.Rank), uint32(len(rt.Events)), payload); err != nil {
-			return err
-		}
-	}
-	return bw.Finish(traceMagicV2)
-}
-
-// EncodedSizeV2 returns the number of bytes EncodeV2 would write for t.
-func EncodedSizeV2(t *Trace) int64 {
-	var c CountingWriter
-	if err := EncodeV2(&c, t); err != nil {
-		panic("trace: EncodedSizeV2: " + err.Error())
-	}
-	return c.N
 }
 
 // countingReader counts consumed bytes so positions can be recovered
@@ -652,6 +655,10 @@ type v2parallelDecoder struct {
 	stop    sync.Once
 	next    int
 	fail    error
+	// bufs recycles block read buffers across decodes: decoded events
+	// hold name-table strings, never payload bytes, so a block's buffer
+	// is free for reuse as soon as its payload has been parsed.
+	bufs sync.Pool
 }
 
 func newV2ParallelDecoder(sr *io.SectionReader, workers int) (*Decoder, error) {
@@ -726,16 +733,24 @@ func (d *v2parallelDecoder) run() {
 }
 
 func (d *v2parallelDecoder) decodeBlock(e BlockEntry) (*RankTrace, error) {
-	payload, err := ReadBlockAt(d.sr, e)
+	var buf []byte
+	if bp, _ := d.bufs.Get().(*[]byte); bp != nil {
+		buf = *bp
+	}
+	payload, buf, err := ReadBlockAtBuf(d.sr, e, buf)
 	if err != nil {
+		d.bufs.Put(&buf)
 		return nil, err
 	}
 	c := NewCursor(payload)
 	events, err := ParseEventsV2(c, d.names, e.Records)
-	if err != nil {
-		return nil, fmt.Errorf("trace: rank %d block: %w", e.Rank, err)
+	if err == nil {
+		err = c.Done()
 	}
-	if err := c.Done(); err != nil {
+	// ParseEventsV2 copies nothing out of the payload (names come from
+	// the table), so the buffer can go back in the pool right away.
+	d.bufs.Put(&buf)
+	if err != nil {
 		return nil, fmt.Errorf("trace: rank %d block: %w", e.Rank, err)
 	}
 	return &RankTrace{Rank: int(e.Rank), Events: events}, nil

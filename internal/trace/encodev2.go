@@ -1,0 +1,266 @@
+package trace
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// Worker-parallel v2 encode. The write side mirrors the decode side's
+// block parallelism: rank payloads are delta+varint encoded concurrently
+// into pooled buffers and committed to the BlockWriter in file order —
+// encode out of order, write in order — so the container bytes are
+// identical to the sequential encoder's.
+
+// EncoderOptions configures the v2 encoders.
+type EncoderOptions struct {
+	// Workers bounds the number of concurrent block encoders.
+	// Non-positive means GOMAXPROCS; 1 encodes inline with no
+	// goroutines. The encoded bytes are identical at every setting.
+	Workers int
+}
+
+// DefaultEncodeWorkers resolves a worker-count option: non-positive
+// means GOMAXPROCS.
+func DefaultEncodeWorkers(n int) int { return DefaultDecodeWorkers(n) }
+
+// WriteBlocksParallel encodes and commits n blocks: payload i is
+// produced by encode(i, dst) — which appends to dst and returns the
+// extended slice — on a bounded worker pool, and committed to the
+// container in index order. meta reports block i's rank id and record
+// count. Payload buffers are recycled through a sync.Pool, and in-flight
+// encoded-but-uncommitted blocks are bounded by the worker count, so
+// memory stays at O(workers) blocks however many blocks are written.
+//
+// A commit error (failing or short destination, oversized payload)
+// stops all workers, is latched on the BlockWriter, and is returned;
+// every later BlockWriter call surfaces the same error.
+//
+// encode must be safe for concurrent calls on distinct indexes; with
+// workers <= 1 (or n <= 1) everything runs inline on the caller's
+// goroutine, which is the sequential reference path.
+func (b *BlockWriter) WriteBlocksParallel(n, workers int, meta func(i int) (rank, records uint32), encode func(i int, dst []byte) []byte) error {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		var payload []byte
+		for i := 0; i < n; i++ {
+			rank, records := meta(i)
+			payload = encode(i, payload[:0])
+			if err := b.WriteBlock(rank, records, payload); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		claim   atomic.Int64
+		pool    sync.Pool
+		wg      sync.WaitGroup
+		sem     = make(chan struct{}, workers)
+		abort   = make(chan struct{})
+		results = make([]chan *[]byte, n)
+	)
+	for i := range results {
+		results[i] = make(chan *[]byte, 1)
+	}
+	claim.Store(-1)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				// Acquire the in-flight slot BEFORE claiming an index,
+				// exactly like the decode pool: the committer consumes in
+				// strict index order and frees a slot only after
+				// committing, so the worker holding the lowest pending
+				// index must own a slot or the pipeline wedges.
+				select {
+				case sem <- struct{}{}:
+				case <-abort:
+					return
+				}
+				i := int(claim.Add(1))
+				if i >= n {
+					<-sem
+					return
+				}
+				bp, _ := pool.Get().(*[]byte)
+				if bp == nil {
+					bp = new([]byte)
+				}
+				*bp = encode(i, (*bp)[:0])
+				// Per-index channels have capacity 1 and receive exactly
+				// one send, so delivery never blocks and an aborted commit
+				// loop cannot strand a worker here.
+				results[i] <- bp
+			}
+		}()
+	}
+	var failErr error
+	for i := 0; i < n; i++ {
+		bp := <-results[i]
+		rank, records := meta(i)
+		err := b.WriteBlock(rank, records, *bp)
+		pool.Put(bp)
+		<-sem
+		if err != nil {
+			failErr = err
+			break
+		}
+	}
+	close(abort)
+	wg.Wait()
+	return failErr
+}
+
+// traceNameTable prescans t and assigns name-table ids in first-use
+// order across ranks — the id assignment every v2 trace encoder shares.
+func traceNameTable(t *Trace) *NameTable {
+	nt := NewNameTable()
+	for i := range t.Ranks {
+		for _, e := range t.Ranks[i].Events {
+			nt.ID(e.Name)
+		}
+	}
+	return nt
+}
+
+// writeV2TraceHeader writes the TRC2 container header — magic, workload
+// name, prescanned name table, rank count — and returns the table.
+func writeV2TraceHeader(bw *BlockWriter, t *Trace) (*NameTable, error) {
+	if _, err := io.WriteString(bw, traceMagicV2); err != nil {
+		return nil, err
+	}
+	if err := WriteString(bw, t.Name); err != nil {
+		return nil, err
+	}
+	nt := traceNameTable(t)
+	le := binary.LittleEndian
+	if err := binary.Write(bw, le, uint32(len(nt.names))); err != nil {
+		return nil, err
+	}
+	for _, name := range nt.names {
+		if err := WriteString(bw, name); err != nil {
+			return nil, err
+		}
+	}
+	if err := binary.Write(bw, le, uint32(len(t.Ranks))); err != nil {
+		return nil, err
+	}
+	return nt, nil
+}
+
+// EncodeV2 writes t to w in the columnar v2 trace format (TRC2): one
+// delta+varint block per rank, checksummed and indexed by the footer.
+// It is the sequential reference; EncodeV2With produces identical bytes
+// on a worker pool. The v1 format remains the default interchange form;
+// see docs/FORMATS.md for when to prefer v2.
+func EncodeV2(w io.Writer, t *Trace) error {
+	return encodeV2(w, t, 1)
+}
+
+// EncodeV2With is EncodeV2 with explicit options: rank blocks are
+// encoded concurrently by opts.Workers goroutines and committed in file
+// order, byte-identical to the sequential encoder.
+func EncodeV2With(w io.Writer, t *Trace, opts EncoderOptions) error {
+	return encodeV2(w, t, DefaultEncodeWorkers(opts.Workers))
+}
+
+func encodeV2(w io.Writer, t *Trace, workers int) error {
+	bw := NewBlockWriter(w)
+	nt, err := writeV2TraceHeader(bw, t)
+	if err != nil {
+		return err
+	}
+	// The prescan registered every name, so concurrent encoders only
+	// read the table — safe without locks.
+	err = bw.WriteBlocksParallel(len(t.Ranks), workers,
+		func(i int) (uint32, uint32) {
+			return uint32(t.Ranks[i].Rank), uint32(len(t.Ranks[i].Events))
+		},
+		func(i int, dst []byte) []byte {
+			return AppendEventsV2(dst, nt, t.Ranks[i].Events)
+		})
+	if err != nil {
+		return err
+	}
+	return bw.Finish(traceMagicV2)
+}
+
+// UvarintSize returns len(binary.AppendUvarint(nil, v)) without
+// encoding.
+func UvarintSize(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// VarintSize returns len(binary.AppendVarint(nil, v)) without encoding
+// (zigzag mapping, then uvarint length).
+func VarintSize(v int64) int {
+	return UvarintSize(uint64(v)<<1 ^ uint64(v>>63))
+}
+
+// EventsV2Size returns len(AppendEventsV2(nil, nt, events)) as a pure
+// size walk — no bytes are produced. nt must already hold every event
+// name, as it does after the encoders' prescan.
+func EventsV2Size(nt NameIDs, events []Event) int64 {
+	var n int64
+	var prev Time
+	for _, e := range events {
+		n += int64(UvarintSize(uint64(nt.ID(e.Name))))
+		n += int64(UvarintSize(uint64(e.Kind)))
+		n += int64(VarintSize(e.Enter - prev))
+		prev = e.Enter
+		n += int64(VarintSize(e.Exit - e.Enter))
+		n += int64(VarintSize(int64(e.Peer)))
+		n += int64(VarintSize(int64(e.Tag)))
+		n += int64(VarintSize(e.Bytes))
+		n += int64(VarintSize(int64(e.Root)))
+	}
+	return n
+}
+
+// V2StringSize returns the encoded size of one length-prefixed string.
+func V2StringSize(s string) int64 { return 4 + int64(len(s)) }
+
+// V2ContainerTail returns the byte size of the v2 footer block index
+// plus trailer for n blocks.
+func V2ContainerTail(n int) int64 {
+	return 4 + int64(n)*blockEntrySize + trailerSize
+}
+
+// V2BlockSize returns the on-disk size of one block holding a payload of
+// the given length: inline header + payload.
+func V2BlockSize(payload int64) int64 { return blockHeaderSize + payload }
+
+// MaxBlockPayload is the format's per-block payload byte limit, exported
+// for the size walks that must fail exactly where the encoders would.
+const MaxBlockPayload = maxBlockPayload
+
+// EncodedSizeV2 returns the number of bytes EncodeV2 would write for t,
+// computed in a single size-only pass (no second encode).
+func EncodedSizeV2(t *Trace) int64 {
+	nt := traceNameTable(t)
+	size := int64(len(traceMagicV2)) + V2StringSize(t.Name) + 4
+	for _, name := range nt.names {
+		size += V2StringSize(name)
+	}
+	size += 4 // rank count
+	for i := range t.Ranks {
+		payload := EventsV2Size(nt, t.Ranks[i].Events)
+		if payload > MaxBlockPayload {
+			panic(fmt.Sprintf("trace: EncodedSizeV2: rank %d block payload %d bytes exceeds the %d-byte format limit",
+				t.Ranks[i].Rank, payload, MaxBlockPayload))
+		}
+		size += V2BlockSize(payload)
+	}
+	return size + V2ContainerTail(len(t.Ranks))
+}

@@ -1,0 +1,226 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// encodeStressTrace is big enough that the BlockWriter's buffer flushes
+// many times mid-encode, so injected write failures surface at different
+// stages (header, blocks, footer) depending on the fault point.
+func encodeStressTrace() *Trace {
+	tr := New("encode_stress", 64)
+	for i := range tr.Ranks {
+		base := Time(100 * (i + 1))
+		for j := 0; j < 30; j++ {
+			at := base + Time(j*17)
+			tr.Ranks[i].Events = append(tr.Ranks[i].Events,
+				Event{Name: "work", Kind: KindCompute, Enter: at, Exit: at + 9, Peer: NoPeer, Root: NoPeer},
+				Event{Name: "MPI_Send", Kind: KindSend, Enter: at + 10, Exit: at + 12, Peer: int32(j), Tag: 7, Bytes: int64(j) << 20, Root: NoPeer},
+			)
+		}
+	}
+	return tr
+}
+
+// TestEncodeV2ParallelParity pins the tentpole guarantee on the trace
+// container: EncodeV2With is byte-identical to the sequential EncodeV2
+// at every worker count, including pools larger than the rank count.
+func TestEncodeV2ParallelParity(t *testing.T) {
+	traces := map[string]*Trace{
+		"edge-shapes": v2TestTrace(),
+		"empty-0":     New("empty", 0),
+		"empty-3":     New("empty", 3),
+		"stress":      encodeStressTrace(),
+	}
+	for name, tr := range traces {
+		want := encodeV2Bytes(t, tr)
+		for _, workers := range []int{0, 1, 2, 3, 8, 64} {
+			var buf bytes.Buffer
+			if err := EncodeV2With(&buf, tr, EncoderOptions{Workers: workers}); err != nil {
+				t.Fatalf("%s workers=%d: EncodeV2With: %v", name, workers, err)
+			}
+			if !bytes.Equal(want, buf.Bytes()) {
+				t.Errorf("%s workers=%d: parallel encode differs from sequential (%d vs %d bytes)",
+					name, workers, buf.Len(), len(want))
+			}
+		}
+	}
+}
+
+// encodeTimeout runs fn with a watchdog so a wedged encode pipeline
+// fails the test instead of hanging it.
+func encodeTimeout(t *testing.T, what string, fn func() error) error {
+	t.Helper()
+	ch := make(chan error, 1)
+	go func() { ch <- fn() }()
+	select {
+	case err := <-ch:
+		return err
+	case <-time.After(30 * time.Second):
+		t.Fatalf("%s blocked: parallel encode pipeline wedged", what)
+		return nil
+	}
+}
+
+// waitNoEncodeGoroutines gives encode workers a grace period to exit
+// after their error paths, then fails if the goroutine count stays
+// above the pre-test level — the leak check of the fault-injection
+// tests.
+func waitNoEncodeGoroutines(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak: %d goroutines before, %d after encode failure",
+				before, runtime.NumGoroutine())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+var errInjectedWrite = errors.New("injected write failure")
+
+// failAfterWriter accepts limit bytes, then fails every Write.
+type failAfterWriter struct {
+	limit int
+	n     int
+}
+
+func (w *failAfterWriter) Write(p []byte) (int, error) {
+	if w.n+len(p) > w.limit {
+		k := max(w.limit-w.n, 0)
+		w.n += k
+		return k, errInjectedWrite
+	}
+	w.n += len(p)
+	return len(p), nil
+}
+
+// shortWriter accepts limit bytes, then silently accepts nothing —
+// bufio must convert the short count into io.ErrShortWrite.
+type shortWriter struct {
+	limit int
+	n     int
+}
+
+func (w *shortWriter) Write(p []byte) (int, error) {
+	k := min(len(p), max(w.limit-w.n, 0))
+	w.n += k
+	return k, nil
+}
+
+// TestEncodeV2FailingWriter sweeps an injected write failure across the
+// whole container: at every fault point the parallel encode must return
+// a clean error promptly (watchdog) and stop all workers (leak check).
+func TestEncodeV2FailingWriter(t *testing.T) {
+	tr := encodeStressTrace()
+	size := int(EncodedSizeV2(tr))
+	before := runtime.NumGoroutine()
+	limits := []int{0, 1, 3}
+	for l := 5; l < size; l += 997 {
+		limits = append(limits, l)
+	}
+	limits = append(limits, size-1)
+	for _, workers := range []int{2, 8} {
+		for _, limit := range limits {
+			label := fmt.Sprintf("workers=%d limit=%d", workers, limit)
+			err := encodeTimeout(t, label, func() error {
+				return EncodeV2With(&failAfterWriter{limit: limit}, tr, EncoderOptions{Workers: workers})
+			})
+			if !errors.Is(err, errInjectedWrite) {
+				t.Fatalf("%s: EncodeV2With error = %v, want injected write failure", label, err)
+			}
+		}
+	}
+	waitNoEncodeGoroutines(t, before)
+}
+
+// TestEncodeV2ShortWriter: a destination that under-reports writes
+// without erroring must still fail the encode (io.ErrShortWrite), not
+// silently truncate the container.
+func TestEncodeV2ShortWriter(t *testing.T) {
+	tr := encodeStressTrace()
+	size := int(EncodedSizeV2(tr))
+	before := runtime.NumGoroutine()
+	for _, limit := range []int{0, 100, size / 2, size - 1} {
+		label := fmt.Sprintf("short limit=%d", limit)
+		err := encodeTimeout(t, label, func() error {
+			return EncodeV2With(&shortWriter{limit: limit}, tr, EncoderOptions{Workers: 4})
+		})
+		if !errors.Is(err, io.ErrShortWrite) {
+			t.Fatalf("%s: EncodeV2With error = %v, want io.ErrShortWrite", label, err)
+		}
+	}
+	waitNoEncodeGoroutines(t, before)
+}
+
+// TestBlockWriterErrorLatch pins the error discipline: after the first
+// failure every subsequent Write, WriteBlock, and Finish must surface
+// the same error rather than a nil or a different one.
+func TestBlockWriterErrorLatch(t *testing.T) {
+	bw := NewBlockWriter(&failAfterWriter{limit: 0})
+	// The bufio layer absorbs small writes; force the failure through.
+	big := make([]byte, 1<<16)
+	if _, err := bw.Write(big); !errors.Is(err, errInjectedWrite) {
+		t.Fatalf("first Write error = %v, want injected", err)
+	}
+	if _, err := bw.Write([]byte("x")); !errors.Is(err, errInjectedWrite) {
+		t.Errorf("Write after failure = %v, want latched injected error", err)
+	}
+	if err := bw.WriteBlock(0, 0, nil); !errors.Is(err, errInjectedWrite) {
+		t.Errorf("WriteBlock after failure = %v, want latched injected error", err)
+	}
+	if err := bw.Finish(traceMagicV2); !errors.Is(err, errInjectedWrite) {
+		t.Errorf("Finish after failure = %v, want latched injected error", err)
+	}
+	if err := bw.Err(); !errors.Is(err, errInjectedWrite) {
+		t.Errorf("Err() = %v, want latched injected error", err)
+	}
+}
+
+// TestEncodedSizeV2SinglePass: the size walk must agree exactly with the
+// bytes the encoder produces, for every test-trace shape.
+func TestEncodedSizeV2SinglePass(t *testing.T) {
+	for name, tr := range map[string]*Trace{
+		"edge-shapes": v2TestTrace(),
+		"empty-0":     New("empty", 0),
+		"empty-3":     New("empty", 3),
+		"stress":      encodeStressTrace(),
+	} {
+		data := encodeV2Bytes(t, tr)
+		if got := EncodedSizeV2(tr); got != int64(len(data)) {
+			t.Errorf("%s: EncodedSizeV2 = %d, encoded %d bytes", name, got, len(data))
+		}
+	}
+}
+
+// TestVarintSizes checks the size-walk primitives against the real
+// encoders over the 7-bit group boundaries and signed extremes.
+func TestVarintSizes(t *testing.T) {
+	uvals := []uint64{0, 1, 127, 128, 16383, 16384, 1<<35 - 1, 1 << 35, math.MaxUint64}
+	for shift := 0; shift < 64; shift += 7 {
+		uvals = append(uvals, 1<<shift, (1<<shift)-1, (1<<shift)+1)
+	}
+	for _, v := range uvals {
+		if got, want := UvarintSize(v), len(binary.AppendUvarint(nil, v)); got != want {
+			t.Errorf("UvarintSize(%d) = %d, want %d", v, got, want)
+		}
+	}
+	ivals := []int64{0, 1, -1, 63, 64, -64, -65, math.MaxInt64, math.MinInt64}
+	for _, v := range uvals {
+		ivals = append(ivals, int64(v), -int64(v))
+	}
+	for _, v := range ivals {
+		if got, want := VarintSize(v), len(binary.AppendVarint(nil, v)); got != want {
+			t.Errorf("VarintSize(%d) = %d, want %d", v, got, want)
+		}
+	}
+}

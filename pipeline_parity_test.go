@@ -1,0 +1,85 @@
+// Pipelined-vs-batch parity. ReduceStreamToWriter overlaps decode,
+// reduction, and encode, but its output must be byte-identical to
+// encoding the batch reduction — for every study workload, every
+// similarity method, and both container versions. This is the grid-wide
+// guarantee that lets cmd/tracereduce switch to the pipelined path
+// without changing a single output byte.
+package repro
+
+import (
+	"bytes"
+	"io"
+	"runtime"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/trace"
+)
+
+// traceRankSource yields tr's ranks one at a time, ReduceStream-style.
+func traceRankSource(tr *trace.Trace) func() (*trace.RankTrace, error) {
+	i := 0
+	return func() (*trace.RankTrace, error) {
+		if i >= len(tr.Ranks) {
+			return nil, io.EOF
+		}
+		rt := &tr.Ranks[i]
+		i++
+		return rt, nil
+	}
+}
+
+// TestPipelineReducedParity runs the full 20-workload × 9-method grid
+// through the pipelined reduce-to-writer path in both container
+// versions and requires byte identity with the batch encoding, plus
+// counter agreement in the returned stats.
+func TestPipelineReducedParity(t *testing.T) {
+	// Force a real worker pool so the rank-order registration turnstile
+	// is exercised even on a single-CPU machine.
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	for _, workload := range eval.AllNames() {
+		workload := workload
+		t.Run(workload, func(t *testing.T) {
+			full := parityTrace(t, workload)
+			for _, method := range core.MethodNames {
+				p, err := core.DefaultMethod(method)
+				if err != nil {
+					t.Fatal(err)
+				}
+				red, err := core.Reduce(full, p)
+				if err != nil {
+					t.Fatalf("%s: Reduce: %v", method, err)
+				}
+				for _, version := range []int{1, 2} {
+					var want bytes.Buffer
+					if version == 2 {
+						err = core.EncodeReducedV2(&want, red)
+					} else {
+						err = core.EncodeReduced(&want, red)
+					}
+					if err != nil {
+						t.Fatalf("%s v%d: batch encode: %v", method, version, err)
+					}
+					pp, _ := core.DefaultMethod(method)
+					var got bytes.Buffer
+					stats, err := core.ReduceStreamToWriter(full.Name, pp, traceRankSource(full), &got, version)
+					if err != nil {
+						t.Fatalf("%s v%d: ReduceStreamToWriter: %v", method, version, err)
+					}
+					if !bytes.Equal(want.Bytes(), got.Bytes()) {
+						t.Errorf("%s v%d: pipelined container differs from batch (%d vs %d bytes)",
+							method, version, got.Len(), want.Len())
+					}
+					if stats.TotalSegments != red.TotalSegments ||
+						stats.Matches != red.Matches ||
+						stats.PossibleMatches != red.PossibleMatches ||
+						stats.StoredSegments != red.StoredSegments() {
+						t.Errorf("%s v%d: stats %+v disagree with batch counters", method, version, stats)
+					}
+				}
+			}
+		})
+	}
+}

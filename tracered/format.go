@@ -63,26 +63,46 @@ func (f Format) String() string {
 // sequentially regardless.
 type DecoderOptions = trace.DecoderOptions
 
+// EncoderOptions tunes version-aware trace writing; the zero value is
+// ready to use. Workers bounds the block-encode pool for v2 containers
+// (0 means GOMAXPROCS, 1 encodes inline); the encoded bytes are
+// identical at every setting. v1 containers encode sequentially
+// regardless.
+type EncoderOptions = trace.EncoderOptions
+
 // WriteTraceFormat stores a trace in the requested container format.
+// Version-2 blocks are encoded on a GOMAXPROCS worker pool; use
+// WriteTraceFormatWith to bound it.
 func WriteTraceFormat(w io.Writer, t *Trace, f Format) error {
+	return WriteTraceFormatWith(w, t, f, EncoderOptions{})
+}
+
+// WriteTraceFormatWith is WriteTraceFormat with explicit options.
+func WriteTraceFormatWith(w io.Writer, t *Trace, f Format, opts EncoderOptions) error {
 	switch f {
 	case FormatV1:
 		return trace.Encode(w, t)
 	case FormatV2:
-		return trace.EncodeV2(w, t)
+		return trace.EncodeV2With(w, t, opts)
 	default:
 		return fmt.Errorf("tracered: unknown trace format %v", f)
 	}
 }
 
 // WriteReducedFormat stores a reduced trace in the requested container
-// format.
+// format. Version-2 blocks are encoded on a GOMAXPROCS worker pool; use
+// WriteReducedFormatWith to bound it.
 func WriteReducedFormat(w io.Writer, red *Reduced, f Format) error {
+	return WriteReducedFormatWith(w, red, f, EncoderOptions{})
+}
+
+// WriteReducedFormatWith is WriteReducedFormat with explicit options.
+func WriteReducedFormatWith(w io.Writer, red *Reduced, f Format, opts EncoderOptions) error {
 	switch f {
 	case FormatV1:
 		return core.EncodeReduced(w, red)
 	case FormatV2:
-		return core.EncodeReducedV2(w, red)
+		return core.EncodeReducedV2With(w, red, opts)
 	default:
 		return fmt.Errorf("tracered: unknown reduced format %v", f)
 	}
@@ -117,4 +137,31 @@ func NewTraceDecoderWith(r io.Reader, opts DecoderOptions) (*TraceDecoder, error
 // DecoderOptions for what they tune).
 func ReadReducedWith(r io.Reader, opts DecoderOptions) (*Reduced, error) {
 	return core.DecodeReducedWith(r, opts)
+}
+
+// ReduceStreamStats summarizes a pipelined ReduceStreamToWriter run: the
+// batch reduction's counters plus the bytes written.
+type ReduceStreamStats = core.StreamStats
+
+// ReduceStreamToWriter reduces ranks as d decodes them AND writes the
+// reduced container to w in the requested format, fully pipelined:
+// decode, per-rank reduction, and reduced-block encode overlap on one
+// worker pool, and each rank's block is encoded by the worker that
+// reduced it. The bytes written are identical to WriteReducedFormat of
+// the ReduceStream result, but the full Reduced is never materialized —
+// peak memory is a pool's worth of ranks plus the compact encoded
+// blocks.
+func ReduceStreamToWriter(d *TraceDecoder, m Method, w io.Writer, f Format) (*ReduceStreamStats, error) {
+	return ReduceStreamToWriterMode(d, m, MatchModeExact, w, f)
+}
+
+// ReduceStreamToWriterMode is ReduceStreamToWriter under an explicit
+// MatchMode.
+func ReduceStreamToWriterMode(d *TraceDecoder, m Method, mode MatchMode, w io.Writer, f Format) (*ReduceStreamStats, error) {
+	switch f {
+	case FormatV1, FormatV2:
+	default:
+		return nil, fmt.Errorf("tracered: unknown reduced format %v", f)
+	}
+	return core.ReduceStreamToWriterMode(d.Name(), m, mode, d.NextRank, w, int(f))
 }
