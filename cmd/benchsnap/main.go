@@ -6,12 +6,15 @@
 // bytes on disk per workload, encode/decode cost, block-parallel decode
 // and encode scaling per worker count, and the pipelined
 // reduce-to-writer path against the batch reduce-then-encode path per
-// GOMAXPROCS setting.
+// GOMAXPROCS setting; the serve suite round-trips the tracereduced
+// service over the 20-workload catalog — cold reduce latency, cache-hit
+// replay speedup, and warm-catalog throughput with latency quantiles.
 //
 // Usage:
 //
 //	benchsnap                      # writes BENCH_matcher.json
 //	benchsnap -suite codec         # writes BENCH_codec.json
+//	benchsnap -suite serve         # writes BENCH_serve.json
 //	benchsnap -out /tmp/snap.json
 //	benchsnap -classes 512 -candidates 4096
 //
@@ -71,7 +74,7 @@ type Snapshot struct {
 }
 
 func main() {
-	suite := flag.String("suite", "matcher", "benchmark suite: matcher or codec")
+	suite := flag.String("suite", "matcher", "benchmark suite: matcher, codec, or serve")
 	out := flag.String("out", "", "output snapshot file (default BENCH_<suite>.json)")
 	classes := flag.Int("classes", matchbench.DefaultClasses, "stored representatives in the benchmark class")
 	candidates := flag.Int("candidates", matchbench.DefaultCandidates, "candidate segments per measurement")
@@ -84,8 +87,10 @@ func main() {
 		snap, err = measure(*classes, *candidates)
 	case "codec":
 		snap, err = measureCodec()
+	case "serve":
+		snap, err = measureServe()
 	default:
-		fmt.Fprintf(os.Stderr, "benchsnap: unknown suite %q (want matcher or codec)\n", *suite)
+		fmt.Fprintf(os.Stderr, "benchsnap: unknown suite %q (want matcher, codec, or serve)\n", *suite)
 		os.Exit(2)
 	}
 	if err != nil {

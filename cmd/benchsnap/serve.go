@@ -1,0 +1,188 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/eval"
+	"repro/internal/serve"
+	"repro/internal/trace"
+)
+
+// The serve suite measures the tracereduced service over the study's
+// 20-workload catalog through a real HTTP round trip: cold-cache reduce
+// latency per workload, the cache-hit replay speedup, and sustained
+// warm-catalog throughput with request-latency quantiles. Committed as
+// BENCH_serve.json.
+
+// ServeRow is one workload's service-side measurement.
+type ServeRow struct {
+	Workload     string `json:"workload"`
+	Ranks        int    `json:"ranks"`
+	UploadBytes  int    `json:"upload_bytes"`
+	ReducedBytes int    `json:"reduced_bytes"`
+	// MissMs is the cold-cache /v1/reduce latency; HitMs replays the
+	// cached reply for the identical upload.
+	MissMs float64 `json:"miss_ms"`
+	HitMs  float64 `json:"hit_ms"`
+	// HitSpeedup is MissMs over HitMs.
+	HitSpeedup float64 `json:"hit_speedup"`
+}
+
+// ServeSnapshot is the committed service benchmark record.
+type ServeSnapshot struct {
+	Description string `json:"description"`
+	GoVersion   string `json:"go_version"`
+	GOOS        string `json:"goos"`
+	GOARCH      string `json:"goarch"`
+	// Sessions and Concurrency describe the throughput phase: admitted
+	// session bound and concurrent client count.
+	Sessions    int `json:"sessions"`
+	Concurrency int `json:"concurrency"`
+	Requests    int `json:"requests"`
+	// RequestsPerSec is warm-catalog sustained throughput; P50Ms/P99Ms
+	// are client-observed request latency quantiles over every request
+	// the suite issued (cold and warm).
+	RequestsPerSec float64    `json:"requests_per_sec"`
+	P50Ms          float64    `json:"p50_ms"`
+	P99Ms          float64    `json:"p99_ms"`
+	Rows           []ServeRow `json:"rows"`
+}
+
+// timedPost uploads body once and returns the latency and reply size.
+func timedPost(url string, body []byte) (time.Duration, int, error) {
+	begin := time.Now()
+	resp, err := http.Post(url+"/v1/reduce?method=avgWave&format=v2",
+		"application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		return 0, 0, err
+	}
+	defer resp.Body.Close()
+	reply, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, 0, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, 0, fmt.Errorf("status %d: %s", resp.StatusCode, reply)
+	}
+	return time.Since(begin), len(reply), nil
+}
+
+func measureServe() (*ServeSnapshot, error) {
+	concurrency := runtime.GOMAXPROCS(0)
+	srv := serve.NewServer(serve.Config{MaxSessions: concurrency, DegradeAt: 2})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	snap := &ServeSnapshot{
+		Description: "tracereduced service over the 20-workload catalog: cold reduce latency, cache-hit replay speedup, warm-catalog throughput",
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		Sessions:    concurrency,
+		Concurrency: concurrency,
+	}
+
+	var latencies []time.Duration
+	var uploads [][]byte
+	for _, w := range eval.Catalog() {
+		tr, err := w.Generate()
+		if err != nil {
+			return nil, fmt.Errorf("generating %s: %v", w.Name, err)
+		}
+		var buf bytes.Buffer
+		if err := trace.EncodeV2(&buf, tr); err != nil {
+			return nil, fmt.Errorf("encoding %s: %v", w.Name, err)
+		}
+		upload := buf.Bytes()
+		uploads = append(uploads, upload)
+
+		miss, reduced, err := timedPost(ts.URL, upload)
+		if err != nil {
+			return nil, fmt.Errorf("%s cold reduce: %v", w.Name, err)
+		}
+		// Replay a few hits and keep the fastest — the steady-state
+		// cache-serving cost, free of scheduler noise.
+		hit := time.Duration(1<<62 - 1)
+		for i := 0; i < 5; i++ {
+			d, _, err := timedPost(ts.URL, upload)
+			if err != nil {
+				return nil, fmt.Errorf("%s cache hit: %v", w.Name, err)
+			}
+			if d < hit {
+				hit = d
+			}
+			latencies = append(latencies, d)
+		}
+		latencies = append(latencies, miss)
+		row := ServeRow{
+			Workload:     w.Name,
+			Ranks:        w.Ranks,
+			UploadBytes:  len(upload),
+			ReducedBytes: reduced,
+			MissMs:       round2(float64(miss) / 1e6),
+			HitMs:        round2(float64(hit) / 1e6),
+		}
+		if hit > 0 {
+			row.HitSpeedup = round2(float64(miss) / float64(hit))
+		}
+		snap.Rows = append(snap.Rows, row)
+		fmt.Printf("%-18s %4d ranks  %8d B up  %7d B down  miss %8.2f ms  hit %6.3f ms (%.0fx)\n",
+			w.Name, w.Ranks, row.UploadBytes, row.ReducedBytes, row.MissMs, row.HitMs, row.HitSpeedup)
+	}
+
+	// Warm-catalog throughput: concurrent clients cycling the catalog.
+	rounds := 10
+	total := rounds * len(uploads)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	work := make(chan []byte, total)
+	for i := 0; i < rounds; i++ {
+		for _, u := range uploads {
+			work <- u
+		}
+	}
+	close(work)
+	begin := time.Now()
+	var firstErr error
+	for c := 0; c < concurrency; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for u := range work {
+				d, _, err := timedPost(ts.URL, u)
+				mu.Lock()
+				if err != nil && firstErr == nil {
+					firstErr = err
+				}
+				latencies = append(latencies, d)
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, fmt.Errorf("throughput phase: %v", firstErr)
+	}
+	elapsed := time.Since(begin)
+	snap.Requests = total
+	snap.RequestsPerSec = round2(float64(total) / elapsed.Seconds())
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	quant := func(q float64) float64 {
+		i := int(q * float64(len(latencies)-1))
+		return round2(float64(latencies[i]) / 1e6)
+	}
+	snap.P50Ms = quant(0.50)
+	snap.P99Ms = quant(0.99)
+	fmt.Printf("throughput: %d requests, %.2f req/s, p50 %.3f ms, p99 %.3f ms\n",
+		total, snap.RequestsPerSec, snap.P50Ms, snap.P99Ms)
+	return snap, nil
+}

@@ -1,0 +1,165 @@
+package e2e
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/tracered"
+)
+
+// buildServer compiles tracereduced (and tracegen for the fixture) into
+// dir and returns their paths.
+func buildServer(t *testing.T, dir string) map[string]string {
+	t.Helper()
+	goTool := filepath.Join(runtime.GOROOT(), "bin", "go")
+	if _, err := os.Stat(goTool); err != nil {
+		var lookErr error
+		goTool, lookErr = exec.LookPath("go")
+		if lookErr != nil {
+			t.Skip("go tool not available; skipping server round-trip")
+		}
+	}
+	cmd := exec.Command(goTool, "build", "-o", dir,
+		"repro/cmd/tracegen", "repro/cmd/tracereduced")
+	cmd.Dir = "../.." // repo root, where go.mod lives
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building tools: %v\n%s", err, out)
+	}
+	return map[string]string{
+		"tracegen":     filepath.Join(dir, "tracegen"),
+		"tracereduced": filepath.Join(dir, "tracereduced"),
+	}
+}
+
+// TestServerRoundTrip drives the real tracereduced binary: start on an
+// ephemeral port, upload a generated trace, reduce it, analyze it, then
+// SIGTERM and verify a clean drain (exit 0).
+func TestServerRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	tools := buildServer(t, dir)
+
+	trc := filepath.Join(dir, "late_sender.trc")
+	run(t, tools["tracegen"], "-workload", "late_sender", "-o", trc)
+	upload, err := os.ReadFile(trc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv := exec.Command(tools["tracereduced"], "-addr", "127.0.0.1:0", "-drain-timeout", "20s")
+	stdout, err := srv.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Stderr = os.Stderr
+	if err := srv.Start(); err != nil {
+		t.Fatalf("starting tracereduced: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Wait() }()
+	exited := false
+	defer func() {
+		if exited {
+			return
+		}
+		srv.Process.Kill()
+		<-done
+	}()
+
+	// The server prints "tracereduced: listening on ADDR" once bound.
+	sc := bufio.NewScanner(stdout)
+	var baseURL string
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, "tracereduced: listening on "); ok {
+			baseURL = "http://" + rest
+			break
+		}
+	}
+	if baseURL == "" {
+		t.Fatalf("server never reported its address: %v", sc.Err())
+	}
+	// Keep draining stdout so the drain-time prints don't block the process.
+	go func() {
+		for sc.Scan() {
+		}
+	}()
+
+	if resp, err := http.Get(baseURL + "/healthz"); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v %v", err, resp)
+	} else {
+		resp.Body.Close()
+	}
+
+	// Reduce the upload over HTTP and check the reply is a valid reduced
+	// container for the same workload.
+	resp, err := http.Post(baseURL+"/v1/reduce?method=avgWave&format=v2",
+		"application/octet-stream", bytes.NewReader(upload))
+	if err != nil {
+		t.Fatalf("POST /v1/reduce: %v", err)
+	}
+	reduced, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("reduce: status %d err %v: %s", resp.StatusCode, err, reduced)
+	}
+	sig := resp.Header.Get("X-Tracered-Signature")
+	if sig == "" {
+		t.Fatal("reduce response carries no signature")
+	}
+	red, err := tracered.ReadReduced(bytes.NewReader(reduced))
+	if err != nil {
+		t.Fatalf("served bytes are not a valid reduced container: %v", err)
+	}
+	if red.Name != "late_sender" {
+		t.Errorf("reduced trace names %q, want late_sender", red.Name)
+	}
+
+	// Analyze by signature.
+	aresp, err := http.Get(baseURL + "/v1/analyze?sig=" + sig + "&method=avgWave&format=v2")
+	if err != nil {
+		t.Fatalf("GET /v1/analyze: %v", err)
+	}
+	abody, _ := io.ReadAll(aresp.Body)
+	aresp.Body.Close()
+	if aresp.StatusCode != http.StatusOK {
+		t.Fatalf("analyze: status %d: %s", aresp.StatusCode, abody)
+	}
+	if !strings.Contains(string(abody), "late_sender") {
+		t.Errorf("diagnosis does not name the workload: %s", abody)
+	}
+
+	// Metrics reflect the session.
+	mresp, err := http.Get(baseURL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if !strings.Contains(string(metrics), "tracered_sessions_total 1") {
+		t.Errorf("metrics do not count the session:\n%s", metrics)
+	}
+
+	// SIGTERM drains: the process must exit 0 on its own.
+	if err := srv.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatalf("signaling server: %v", err)
+	}
+	select {
+	case err := <-done:
+		exited = true
+		if err != nil {
+			t.Fatalf("server exited uncleanly after SIGTERM: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("server did not exit within 30s of SIGTERM")
+	}
+}

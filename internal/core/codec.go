@@ -122,15 +122,18 @@ func DecodeReduced(rd io.Reader) (*Reduced, error) {
 	return DecodeReducedWith(rd, trace.DecoderOptions{})
 }
 
-// DecodeReducedWith is DecodeReduced with explicit options.
+// DecodeReducedWith is DecodeReduced with explicit options: worker
+// count for v2 block-parallel decode, allocation caps, and a context
+// that cancels the decode between ranks.
 func DecodeReducedWith(rd io.Reader, opts trace.DecoderOptions) (*Reduced, error) {
+	opts = opts.Resolve()
 	sr, ok, err := trace.SectionFor(rd)
 	if err != nil {
 		return nil, err
 	}
 	if ok {
 		if magic, err := trace.PeekMagic(sr); err == nil && magic == reducedMagicV2 {
-			return decodeReducedV2Parallel(sr, trace.DefaultDecodeWorkers(opts.Workers))
+			return decodeReducedV2Parallel(sr, opts)
 		}
 	}
 	cr := &v2countingReader{r: rd}
@@ -141,21 +144,22 @@ func DecodeReducedWith(rd io.Reader, opts trace.DecoderOptions) (*Reduced, error
 	}
 	switch string(magic) {
 	case reducedMagic:
-		return decodeReducedV1(br)
+		return decodeReducedV1(br, opts)
 	case reducedMagicV2:
-		return decodeReducedV2Sequential(cr, br)
+		return decodeReducedV2Sequential(cr, br, opts)
 	default:
 		return nil, fmt.Errorf("core: bad magic %q", magic)
 	}
 }
 
 // decodeReducedV1 reads the TRR1 body after the magic.
-func decodeReducedV1(br *bufio.Reader) (*Reduced, error) {
-	name, err := trace.ReadString(br)
+func decodeReducedV1(br *bufio.Reader, opts trace.DecoderOptions) (*Reduced, error) {
+	lim := opts.Limits
+	name, err := trace.ReadStringLimit(br, lim.MaxStringLen)
 	if err != nil {
 		return nil, err
 	}
-	method, err := trace.ReadString(br)
+	method, err := trace.ReadStringLimit(br, lim.MaxStringLen)
 	if err != nil {
 		return nil, err
 	}
@@ -164,12 +168,12 @@ func decodeReducedV1(br *bufio.Reader) (*Reduced, error) {
 	if err := binary.Read(br, le, &nNames); err != nil {
 		return nil, err
 	}
-	if nNames > 1<<24 {
-		return nil, fmt.Errorf("core: name table size %d too large", nNames)
+	if nNames > lim.MaxNames {
+		return nil, fmt.Errorf("core: name table size %d exceeds the %d-entry cap", nNames, lim.MaxNames)
 	}
 	names := make([]string, 0, min(nNames, 1<<12))
 	for i := uint32(0); i < nNames; i++ {
-		s, err := trace.ReadString(br)
+		s, err := trace.ReadStringLimit(br, lim.MaxStringLen)
 		if err != nil {
 			return nil, err
 		}
@@ -179,12 +183,15 @@ func decodeReducedV1(br *bufio.Reader) (*Reduced, error) {
 	if err := binary.Read(br, le, &nRanks); err != nil {
 		return nil, err
 	}
-	if nRanks > 1<<20 {
-		return nil, fmt.Errorf("core: rank count %d too large", nRanks)
+	if nRanks > lim.MaxRanks {
+		return nil, fmt.Errorf("core: rank count %d exceeds the %d cap", nRanks, lim.MaxRanks)
 	}
 	r := &Reduced{Name: name, Method: method, Ranks: make([]RankReduced, nRanks)}
 	rec := make([]byte, trace.EventRecordSize)
 	for i := range r.Ranks {
+		if err := opts.Ctx.Err(); err != nil {
+			return nil, err
+		}
 		var hdr [3]uint32
 		if err := binary.Read(br, le, &hdr); err != nil {
 			return nil, err

@@ -277,12 +277,12 @@ func parseRankReducedV2(e trace.BlockEntry, payload []byte, names []string) (Ran
 
 // readReducedV2Header reads the TRR2 header after the magic: workload
 // name, method, name table, rank count — the same caps as v1.
-func readReducedV2Header(br *bufio.Reader) (name, method string, names []string, nRanks int, err error) {
-	name, err = trace.ReadString(br)
+func readReducedV2Header(br *bufio.Reader, lim trace.DecodeLimits) (name, method string, names []string, nRanks int, err error) {
+	name, err = trace.ReadStringLimit(br, lim.MaxStringLen)
 	if err != nil {
 		return "", "", nil, 0, err
 	}
-	method, err = trace.ReadString(br)
+	method, err = trace.ReadStringLimit(br, lim.MaxStringLen)
 	if err != nil {
 		return "", "", nil, 0, err
 	}
@@ -291,12 +291,12 @@ func readReducedV2Header(br *bufio.Reader) (name, method string, names []string,
 	if err = binary.Read(br, le, &nNames); err != nil {
 		return "", "", nil, 0, err
 	}
-	if nNames > 1<<24 {
-		return "", "", nil, 0, fmt.Errorf("core: name table size %d too large", nNames)
+	if nNames > lim.MaxNames {
+		return "", "", nil, 0, fmt.Errorf("core: name table size %d exceeds the %d-entry cap", nNames, lim.MaxNames)
 	}
 	names = make([]string, 0, min(nNames, 1<<12))
 	for i := uint32(0); i < nNames; i++ {
-		s, err := trace.ReadString(br)
+		s, err := trace.ReadStringLimit(br, lim.MaxStringLen)
 		if err != nil {
 			return "", "", nil, 0, err
 		}
@@ -306,8 +306,8 @@ func readReducedV2Header(br *bufio.Reader) (name, method string, names []string,
 	if err = binary.Read(br, le, &n); err != nil {
 		return "", "", nil, 0, err
 	}
-	if n > 1<<20 {
-		return "", "", nil, 0, fmt.Errorf("core: rank count %d too large", n)
+	if n > lim.MaxRanks {
+		return "", "", nil, 0, fmt.Errorf("core: rank count %d exceeds the %d cap", n, lim.MaxRanks)
 	}
 	return name, method, names, int(n), nil
 }
@@ -315,19 +315,20 @@ func readReducedV2Header(br *bufio.Reader) (name, method string, names []string,
 // decodeReducedV2Parallel decodes a TRR2 container from a random-access
 // input: the footer index is validated once, then blocks are decoded
 // into their rank slots by a bounded worker pool.
-func decodeReducedV2Parallel(sr *io.SectionReader, workers int) (*Reduced, error) {
+func decodeReducedV2Parallel(sr *io.SectionReader, opts trace.DecoderOptions) (*Reduced, error) {
+	workers := opts.Workers
 	cr := &v2countingReader{r: io.NewSectionReader(sr, 0, sr.Size())}
 	br := bufio.NewReader(cr)
 	magic := make([]byte, len(reducedMagicV2))
 	if _, err := io.ReadFull(br, magic); err != nil {
 		return nil, fmt.Errorf("core: reading magic: %w", err)
 	}
-	name, method, names, nRanks, err := readReducedV2Header(br)
+	name, method, names, nRanks, err := readReducedV2Header(br, opts.Limits)
 	if err != nil {
 		return nil, err
 	}
 	headerEnd := uint64(cr.n) - uint64(br.Buffered())
-	entries, err := trace.ReadBlockIndex(sr, sr.Size(), reducedMagicV2, headerEnd)
+	entries, err := trace.ReadBlockIndexLimit(sr, sr.Size(), reducedMagicV2, headerEnd, opts.Limits.MaxRanks)
 	if err != nil {
 		return nil, err
 	}
@@ -355,10 +356,16 @@ func decodeReducedV2Parallel(sr *io.SectionReader, workers int) (*Reduced, error
 		go func() {
 			defer wg.Done()
 			for {
-				// Stop claiming once any worker has failed, so a corrupt
-				// block aborts the whole decode promptly instead of
+				// Stop claiming once any worker has failed or the decode
+				// was cancelled, so a corrupt block or a disconnected
+				// caller aborts the whole decode promptly instead of
 				// decoding every remaining block first.
 				if failed.Load() {
+					return
+				}
+				if err := opts.Ctx.Err(); err != nil {
+					errOnce.Do(func() { firstEr = err })
+					failed.Store(true)
 					return
 				}
 				i := int(claim.Add(1))
@@ -392,8 +399,8 @@ func decodeReducedV2Parallel(sr *io.SectionReader, workers int) (*Reduced, error
 // decodeReducedV2Sequential decodes a TRR2 container from a plain
 // stream: blocks in file order via the inline headers, then the footer
 // is verified against the observed blocks.
-func decodeReducedV2Sequential(cr *v2countingReader, br *bufio.Reader) (*Reduced, error) {
-	name, method, names, nRanks, err := readReducedV2Header(br)
+func decodeReducedV2Sequential(cr *v2countingReader, br *bufio.Reader, opts trace.DecoderOptions) (*Reduced, error) {
+	name, method, names, nRanks, err := readReducedV2Header(br, opts.Limits)
 	if err != nil {
 		return nil, err
 	}
@@ -401,6 +408,9 @@ func decodeReducedV2Sequential(cr *v2countingReader, br *bufio.Reader) (*Reduced
 	r := &Reduced{Name: name, Method: method, Ranks: make([]RankReduced, nRanks)}
 	observed := make([]trace.BlockEntry, 0, nRanks)
 	for i := 0; i < nRanks; i++ {
+		if err := opts.Ctx.Err(); err != nil {
+			return nil, err
+		}
 		e, payload, err := trace.ReadBlock(br, pos())
 		if err != nil {
 			return nil, fmt.Errorf("core: rank %d of %d block: %w", i, nRanks, err)

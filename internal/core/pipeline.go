@@ -2,6 +2,7 @@ package core
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -103,8 +104,33 @@ func ReduceStreamToWriter(name string, p Policy, next func() (*trace.RankTrace, 
 // ReduceStreamToWriterMode is ReduceStreamToWriter under an explicit
 // MatchMode (see MatchMode for the per-mode guarantees).
 func ReduceStreamToWriterMode(name string, p Policy, mode MatchMode, next func() (*trace.RankTrace, error), w io.Writer, version int) (*StreamStats, error) {
+	return ReduceStreamToWriterOpts(name, p, next, w, version, StreamOptions{Mode: mode})
+}
+
+// StreamOptions configure the pipelined reduce-to-writer path. The zero
+// value is the exact-scan default on a GOMAXPROCS pool.
+type StreamOptions struct {
+	// Mode selects the matcher's search mode (see MatchMode).
+	Mode MatchMode
+	// Workers bounds the reduce/encode pool; non-positive means
+	// GOMAXPROCS. Output bytes are identical at every setting.
+	Workers int
+	// Ctx cancels the run: workers stop claiming ranks, turnstile
+	// waiters are released, and ctx.Err() is returned. nil means
+	// context.Background().
+	Ctx context.Context
+}
+
+// ReduceStreamToWriterOpts is ReduceStreamToWriterMode with an explicit
+// worker count and cancellation context.
+func ReduceStreamToWriterOpts(name string, p Policy, next func() (*trace.RankTrace, error), w io.Writer, version int, opts StreamOptions) (*StreamStats, error) {
+	mode := opts.Mode
 	if version != 1 && version != 2 {
 		return nil, fmt.Errorf("core: unknown reduced container version %d", version)
+	}
+	ctx := opts.Ctx
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	var (
 		srcMu    sync.Mutex // serializes next and the arrival counter
@@ -143,7 +169,20 @@ func ReduceStreamToWriterMode(name string, p Policy, mode MatchMode, next func()
 		abortReg()
 	}
 	stats := &StreamStats{Name: name, Method: p.Name()}
-	workers := runtime.GOMAXPROCS(0)
+	// Cancellation rides the existing failure path: fail latches the
+	// error and wakes every turnstile waiter, so blocked workers unwind
+	// exactly as they would on a decode error.
+	// Latch an already-dead context synchronously: AfterFunc fires on its
+	// own goroutine, and a small stream can finish before it runs.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	stopCancel := context.AfterFunc(ctx, func() { fail(ctx.Err()) })
+	defer stopCancel()
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	var wg sync.WaitGroup
 	for wkr := 0; wkr < workers; wkr++ {
 		wg.Add(1)

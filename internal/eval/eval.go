@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -326,11 +327,21 @@ func (r *Runner) evaluate(c Cell) (*Result, error) {
 // previously evaluated cells are served from the cache; the first error
 // in cell order aborts the grid.
 func (r *Runner) RunGrid(cells []Cell) ([]*Result, error) {
+	return r.RunGridCtx(context.Background(), cells)
+}
+
+// RunGridCtx is RunGrid under a context: once ctx is cancelled, workers
+// stop claiming cells and the grid returns ctx.Err(). Cells already
+// being evaluated run to completion (and stay memoized for later grids).
+func (r *Runner) RunGridCtx(ctx context.Context, cells []Cell) ([]*Result, error) {
 	// Pre-generate traces sequentially so the workers don't all stampede
 	// into the same cache entry (sync.Once already serializes, but this
 	// keeps memory growth predictable).
 	seen := map[string]bool{}
 	for _, c := range cells {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if !seen[c.Workload] {
 			seen[c.Workload] = true
 			if _, err := r.Diagnosis(c.Workload); err != nil {
@@ -364,6 +375,9 @@ func (r *Runner) RunGrid(cells []Cell) ([]*Result, error) {
 			go func() {
 				defer wg.Done()
 				for {
+					if ctx.Err() != nil {
+						return
+					}
 					i := int(next.Add(1)) - 1
 					if i >= len(uniq) {
 						return
@@ -376,6 +390,9 @@ func (r *Runner) RunGrid(cells []Cell) ([]*Result, error) {
 	}
 	results := make([]*Result, len(cells))
 	for i, c := range cells {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		res, err := r.Run(c)
 		if err != nil {
 			return nil, err

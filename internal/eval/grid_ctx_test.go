@@ -1,0 +1,28 @@
+package eval
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func TestRunGridCtxCancelled(t *testing.T) {
+	r := NewRunner()
+	cells := []Cell{
+		DefaultCell("late_sender", "avgWave"),
+		DefaultCell("late_sender", "euclidean"),
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := r.RunGridCtx(ctx, cells); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunGridCtx(cancelled) = %v, want context.Canceled", err)
+	}
+	// An uncancelled run over the same runner still works and memoizes.
+	res, err := r.RunGridCtx(context.Background(), cells[:1])
+	if err != nil {
+		t.Fatalf("RunGridCtx: %v", err)
+	}
+	if len(res) != 1 || res[0] == nil {
+		t.Fatalf("RunGridCtx returned %v", res)
+	}
+}

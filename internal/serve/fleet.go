@@ -1,0 +1,73 @@
+package serve
+
+import "context"
+
+// Fleet is the global worker-slot pool every reduce session draws
+// from. Slots bound the total reduce/encode parallelism across all
+// concurrent sessions, so N uploads share one machine-wide budget
+// instead of each spinning up its own GOMAXPROCS pool.
+//
+// Sessions lease a batch of slots with Acquire: the first slot blocks
+// (a session is always granted at least one worker eventually), and up
+// to want-1 further slots are taken opportunistically if free — a lone
+// session gets the whole fleet, while under contention sessions shrink
+// toward one worker each. That keeps latency flat under light load and
+// degrades throughput smoothly under heavy load.
+type Fleet struct {
+	slots chan struct{}
+	busy  *Gauge
+}
+
+// NewFleet returns a fleet of n slots (n must be >= 1), mirroring its
+// occupancy into the gauge when non-nil.
+func NewFleet(n int, busy *Gauge) *Fleet {
+	f := &Fleet{slots: make(chan struct{}, n), busy: busy}
+	for i := 0; i < n; i++ {
+		f.slots <- struct{}{}
+	}
+	return f
+}
+
+// Size returns the fleet's total slot count.
+func (f *Fleet) Size() int { return cap(f.slots) }
+
+// Acquire leases up to want slots (at least 1), blocking for the first
+// slot until one frees or ctx is done. It returns the number of slots
+// actually granted; 0 with ctx.Err() when the context won the race.
+func (f *Fleet) Acquire(ctx context.Context, want int) (int, error) {
+	if want < 1 {
+		want = 1
+	}
+	select {
+	case <-f.slots:
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	}
+	granted := 1
+	for granted < want {
+		select {
+		case <-f.slots:
+			granted++
+		default:
+			// No free slot — run with what we have rather than wait.
+			f.track(granted)
+			return granted, nil
+		}
+	}
+	f.track(granted)
+	return granted, nil
+}
+
+// Release returns n previously acquired slots.
+func (f *Fleet) Release(n int) {
+	for i := 0; i < n; i++ {
+		f.slots <- struct{}{}
+	}
+	f.track(-n)
+}
+
+func (f *Fleet) track(delta int) {
+	if f.busy != nil {
+		f.busy.Add(int64(delta))
+	}
+}

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -78,14 +79,21 @@ func WriteString(w io.Writer, s string) error {
 	return err
 }
 
-// ReadString reads a u32-length-prefixed string written by WriteString.
+// ReadString reads a u32-length-prefixed string written by WriteString,
+// under the default string-length cap.
 func ReadString(r io.Reader) (string, error) {
+	return ReadStringLimit(r, defaultMaxStringLen)
+}
+
+// ReadStringLimit is ReadString with an explicit length cap: a declared
+// length above max is rejected before any allocation.
+func ReadStringLimit(r io.Reader, max uint32) (string, error) {
 	var n uint32
 	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
 		return "", err
 	}
-	if n > 1<<20 {
-		return "", fmt.Errorf("trace: string length %d too large", n)
+	if n > max {
+		return "", fmt.Errorf("trace: string length %d exceeds the %d-byte cap", n, max)
 	}
 	buf := make([]byte, n)
 	if _, err := io.ReadFull(r, buf); err != nil {
@@ -211,6 +219,62 @@ type DecoderOptions struct {
 	// Workers bounds the version-2 block-decode pool; non-positive means
 	// GOMAXPROCS. Version-1 decoding ignores it.
 	Workers int
+	// Ctx cancels the decode: pool workers stop claiming blocks and a
+	// blocked NextRank returns ctx.Err(). nil means context.Background().
+	Ctx context.Context
+	// Limits override the hostile-input allocation caps; zero fields keep
+	// the defaults (see DecodeLimits).
+	Limits DecodeLimits
+}
+
+// DecodeLimits bound what a decoder will accept from a container header
+// before the body proves the bytes exist. The zero value keeps the
+// historical caps, which are sized for trusted local files; servers
+// decoding uploads lower them to enforce per-tenant budgets, rejecting
+// an oversized header cleanly before any large allocation.
+type DecodeLimits struct {
+	// MaxStringLen caps each length-prefixed string (workload name, name
+	// table entries). 0 means 1<<20.
+	MaxStringLen uint32
+	// MaxNames caps the name-table entry count. 0 means 1<<24.
+	MaxNames uint32
+	// MaxRanks caps the rank count (and so the v2 block count). 0 means
+	// 1<<20.
+	MaxRanks uint32
+}
+
+// Historical caps, applied when the corresponding DecodeLimits field is
+// zero.
+const (
+	defaultMaxStringLen = 1 << 20
+	defaultMaxNames     = 1 << 24
+	defaultMaxRanks     = 1 << 20
+)
+
+// withDefaults fills zero fields with the historical caps.
+func (l DecodeLimits) withDefaults() DecodeLimits {
+	if l.MaxStringLen == 0 {
+		l.MaxStringLen = defaultMaxStringLen
+	}
+	if l.MaxNames == 0 {
+		l.MaxNames = defaultMaxNames
+	}
+	if l.MaxRanks == 0 {
+		l.MaxRanks = defaultMaxRanks
+	}
+	return l
+}
+
+// Resolve returns the options with defaults applied: limits filled in
+// and a non-nil context. Decoder entry points in other packages (the
+// reduced-trace codec) call it once up front.
+func (o DecoderOptions) Resolve() DecoderOptions {
+	o.Workers = DefaultDecodeWorkers(o.Workers)
+	if o.Ctx == nil {
+		o.Ctx = context.Background()
+	}
+	o.Limits = o.Limits.withDefaults()
+	return o
 }
 
 // NewDecoder reads the trace header (magic, workload name, name table,
@@ -222,13 +286,14 @@ func NewDecoder(r io.Reader) (*Decoder, error) {
 
 // NewDecoderWith is NewDecoder with explicit options.
 func NewDecoderWith(r io.Reader, opts DecoderOptions) (*Decoder, error) {
+	opts = opts.Resolve()
 	sr, ok, err := SectionFor(r)
 	if err != nil {
 		return nil, err
 	}
 	if ok {
 		if magic, err := PeekMagic(sr); err == nil && magic == traceMagicV2 {
-			return newV2ParallelDecoder(sr, DefaultDecodeWorkers(opts.Workers))
+			return newV2ParallelDecoder(sr, opts)
 		}
 		// Not a v2 container (or too short to tell): r's position was
 		// restored by SectionFor, so the stream path below sees the file
@@ -242,51 +307,62 @@ func NewDecoderWith(r io.Reader, opts DecoderOptions) (*Decoder, error) {
 	}
 	switch string(magic) {
 	case traceMagic:
-		return newV1Decoder(br)
+		return newV1Decoder(br, opts)
 	case traceMagicV2:
-		return newV2SequentialDecoder(cr, br)
+		return newV2SequentialDecoder(cr, br, opts)
 	default:
 		return nil, fmt.Errorf("trace: bad magic %q", magic)
 	}
 }
 
 // newV1Decoder reads the TRC1 header after the magic.
-func newV1Decoder(br *bufio.Reader) (*Decoder, error) {
-	name, err := ReadString(br)
+func newV1Decoder(br *bufio.Reader, opts DecoderOptions) (*Decoder, error) {
+	name, names, nRanks, err := readTraceHeader(br, opts.Limits)
 	if err != nil {
-		return nil, fmt.Errorf("trace: reading name: %w", err)
-	}
-	var nNames uint32
-	if err := binary.Read(br, binary.LittleEndian, &nNames); err != nil {
 		return nil, err
 	}
-	if nNames > 1<<24 {
-		return nil, fmt.Errorf("trace: name table size %d too large", nNames)
-	}
-	names := make([]string, 0, min(nNames, 1<<12))
-	for i := uint32(0); i < nNames; i++ {
-		s, err := ReadString(br)
-		if err != nil {
-			return nil, fmt.Errorf("trace: reading name table: %w", err)
-		}
-		names = append(names, s)
-	}
-	var nRanks uint32
-	if err := binary.Read(br, binary.LittleEndian, &nRanks); err != nil {
-		return nil, err
-	}
-	if nRanks > 1<<20 {
-		return nil, fmt.Errorf("trace: rank count %d too large", nRanks)
-	}
-	v1 := &v1decoder{br: br, names: names, nRanks: int(nRanks)}
+	v1 := &v1decoder{br: br, names: names, nRanks: nRanks, ctx: opts.Ctx}
 	return &Decoder{
 		name:    name,
 		names:   names,
-		nRanks:  int(nRanks),
+		nRanks:  nRanks,
 		version: 1,
 		next:    v1.nextRank,
 		close:   func() {},
 	}, nil
+}
+
+// readTraceHeader reads the header fields shared by both trace container
+// versions after the magic — workload name, name table, rank count —
+// under the given allocation caps.
+func readTraceHeader(br *bufio.Reader, lim DecodeLimits) (name string, names []string, nRanks int, err error) {
+	name, err = ReadStringLimit(br, lim.MaxStringLen)
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("trace: reading name: %w", err)
+	}
+	var nNames uint32
+	if err = binary.Read(br, binary.LittleEndian, &nNames); err != nil {
+		return "", nil, 0, err
+	}
+	if nNames > lim.MaxNames {
+		return "", nil, 0, fmt.Errorf("trace: name table size %d exceeds the %d-entry cap", nNames, lim.MaxNames)
+	}
+	names = make([]string, 0, min(nNames, 1<<12))
+	for i := uint32(0); i < nNames; i++ {
+		s, err := ReadStringLimit(br, lim.MaxStringLen)
+		if err != nil {
+			return "", nil, 0, fmt.Errorf("trace: reading name table: %w", err)
+		}
+		names = append(names, s)
+	}
+	var n uint32
+	if err = binary.Read(br, binary.LittleEndian, &n); err != nil {
+		return "", nil, 0, err
+	}
+	if n > lim.MaxRanks {
+		return "", nil, 0, fmt.Errorf("trace: rank count %d exceeds the %d cap", n, lim.MaxRanks)
+	}
+	return name, names, int(n), nil
 }
 
 // Name returns the workload name from the trace header.
@@ -313,9 +389,13 @@ type v1decoder struct {
 	names  []string
 	nRanks int
 	next   int
+	ctx    context.Context
 }
 
 func (d *v1decoder) nextRank() (*RankTrace, error) {
+	if err := d.ctx.Err(); err != nil {
+		return nil, err
+	}
 	if d.next >= d.nRanks {
 		return nil, io.EOF
 	}

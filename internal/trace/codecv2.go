@@ -3,6 +3,7 @@ package trace
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -198,6 +199,13 @@ func (b *BlockWriter) Finish(magic string) error {
 // overlapping, out-of-range, or gapped blocks, zero-length blocks
 // claiming records — is rejected here or by the per-block checks.
 func ReadBlockIndex(ra io.ReaderAt, size int64, magic string, headerEnd uint64) ([]BlockEntry, error) {
+	return ReadBlockIndexLimit(ra, size, magic, headerEnd, maxBlocks)
+}
+
+// ReadBlockIndexLimit is ReadBlockIndex with an explicit block-count cap
+// (decoders pass their DecodeLimits rank cap, since v2 containers hold
+// one block per rank).
+func ReadBlockIndexLimit(ra io.ReaderAt, size int64, magic string, headerEnd uint64, maxCount uint32) ([]BlockEntry, error) {
 	if size < int64(headerEnd)+trailerSize {
 		return nil, fmt.Errorf("trace: %s file truncated: %d bytes leaves no room for a footer", magic, size)
 	}
@@ -223,8 +231,8 @@ func ReadBlockIndex(ra io.ReaderAt, size int64, magic string, headerEnd uint64) 
 		return nil, fmt.Errorf("trace: reading %s block index: %w", magic, noEOF(err))
 	}
 	n := le.Uint32(buf[0:])
-	if n > maxBlocks {
-		return nil, fmt.Errorf("trace: %s block count %d too large", magic, n)
+	if n > maxCount {
+		return nil, fmt.Errorf("trace: %s block count %d exceeds the %d cap", magic, n, maxCount)
 	}
 	if want := 4 + uint64(n)*blockEntrySize; want != indexLen {
 		return nil, fmt.Errorf("trace: %s block index declares %d blocks (%d bytes) but spans %d bytes",
@@ -601,34 +609,8 @@ func PeekMagic(sr *io.SectionReader) (string, error) {
 
 // readV2TraceHeader reads the TRC2 header after the magic: workload
 // name, name table, rank count — the same grammar and caps as v1.
-func readV2TraceHeader(br *bufio.Reader) (name string, names []string, nRanks int, err error) {
-	name, err = ReadString(br)
-	if err != nil {
-		return "", nil, 0, fmt.Errorf("trace: reading name: %w", err)
-	}
-	var nNames uint32
-	if err = binary.Read(br, binary.LittleEndian, &nNames); err != nil {
-		return "", nil, 0, err
-	}
-	if nNames > 1<<24 {
-		return "", nil, 0, fmt.Errorf("trace: name table size %d too large", nNames)
-	}
-	names = make([]string, 0, min(nNames, 1<<12))
-	for i := uint32(0); i < nNames; i++ {
-		s, err := ReadString(br)
-		if err != nil {
-			return "", nil, 0, fmt.Errorf("trace: reading name table: %w", err)
-		}
-		names = append(names, s)
-	}
-	var n uint32
-	if err = binary.Read(br, binary.LittleEndian, &n); err != nil {
-		return "", nil, 0, err
-	}
-	if n > 1<<20 {
-		return "", nil, 0, fmt.Errorf("trace: rank count %d too large", n)
-	}
-	return name, names, int(n), nil
+func readV2TraceHeader(br *bufio.Reader, lim DecodeLimits) (name string, names []string, nRanks int, err error) {
+	return readTraceHeader(br, lim)
 }
 
 // v2blockResult carries one decoded block from a worker to NextRank.
@@ -646,6 +628,7 @@ type v2parallelDecoder struct {
 	names   []string
 	entries []BlockEntry
 	workers int
+	ctx     context.Context
 
 	start   sync.Once
 	claim   atomic.Int64
@@ -661,19 +644,20 @@ type v2parallelDecoder struct {
 	bufs sync.Pool
 }
 
-func newV2ParallelDecoder(sr *io.SectionReader, workers int) (*Decoder, error) {
+func newV2ParallelDecoder(sr *io.SectionReader, opts DecoderOptions) (*Decoder, error) {
+	workers := opts.Workers
 	cr := &countingReader{r: io.NewSectionReader(sr, 0, sr.Size())}
 	br := bufio.NewReader(cr)
 	magic := make([]byte, len(traceMagicV2))
 	if _, err := io.ReadFull(br, magic); err != nil {
 		return nil, fmt.Errorf("trace: reading magic: %w", err)
 	}
-	name, names, nRanks, err := readV2TraceHeader(br)
+	name, names, nRanks, err := readV2TraceHeader(br, opts.Limits)
 	if err != nil {
 		return nil, err
 	}
 	headerEnd := uint64(cr.n) - uint64(br.Buffered())
-	entries, err := ReadBlockIndex(sr, sr.Size(), traceMagicV2, headerEnd)
+	entries, err := ReadBlockIndexLimit(sr, sr.Size(), traceMagicV2, headerEnd, opts.Limits.MaxRanks)
 	if err != nil {
 		return nil, err
 	}
@@ -688,6 +672,7 @@ func newV2ParallelDecoder(sr *io.SectionReader, workers int) (*Decoder, error) {
 		names:   names,
 		entries: entries,
 		workers: workers,
+		ctx:     opts.Ctx,
 		sem:     make(chan struct{}, max(workers, 1)),
 		abort:   make(chan struct{}),
 		results: make([]chan v2blockResult, len(entries)),
@@ -720,6 +705,8 @@ func (d *v2parallelDecoder) run() {
 		select {
 		case d.sem <- struct{}{}:
 		case <-d.abort:
+			return
+		case <-d.ctx.Done():
 			return
 		}
 		i := int(d.claim.Add(1))
@@ -771,7 +758,17 @@ func (d *v2parallelDecoder) nextRank() (*RankTrace, error) {
 			go d.run()
 		}
 	})
-	res := <-d.results[d.next]
+	// A cancelled context stops the workers, so the pending result may
+	// never arrive — wait on both and latch the cancellation as the
+	// decoder's terminal error.
+	var res v2blockResult
+	select {
+	case res = <-d.results[d.next]:
+	case <-d.ctx.Done():
+		d.fail = d.ctx.Err()
+		d.closeAbort()
+		return nil, d.fail
+	}
 	d.next++
 	<-d.sem
 	if res.err != nil {
@@ -803,16 +800,17 @@ type v2sequentialDecoder struct {
 	next     int
 	observed []BlockEntry
 	checked  bool
+	ctx      context.Context
 }
 
 // newV2SequentialDecoder builds the sequential decoder; br wraps cr and
 // has consumed exactly the 4-byte magic.
-func newV2SequentialDecoder(cr *countingReader, br *bufio.Reader) (*Decoder, error) {
-	name, names, nRanks, err := readV2TraceHeader(br)
+func newV2SequentialDecoder(cr *countingReader, br *bufio.Reader, opts DecoderOptions) (*Decoder, error) {
+	name, names, nRanks, err := readV2TraceHeader(br, opts.Limits)
 	if err != nil {
 		return nil, err
 	}
-	d := &v2sequentialDecoder{cr: cr, br: br, names: names, nRanks: nRanks}
+	d := &v2sequentialDecoder{cr: cr, br: br, names: names, nRanks: nRanks, ctx: opts.Ctx}
 	return &Decoder{
 		name:    name,
 		names:   names,
@@ -829,6 +827,9 @@ func (d *v2sequentialDecoder) pos() uint64 {
 }
 
 func (d *v2sequentialDecoder) nextRank() (*RankTrace, error) {
+	if err := d.ctx.Err(); err != nil {
+		return nil, err
+	}
 	if d.next >= d.nRanks {
 		if !d.checked {
 			d.checked = true

@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -20,6 +21,10 @@ type EncoderOptions struct {
 	// Non-positive means GOMAXPROCS; 1 encodes inline with no
 	// goroutines. The encoded bytes are identical at every setting.
 	Workers int
+	// Ctx cancels the encode: pool workers stop claiming blocks and the
+	// commit loop returns ctx.Err(), latched on the BlockWriter. nil
+	// means context.Background().
+	Ctx context.Context
 }
 
 // DefaultEncodeWorkers resolves a worker-count option: non-positive
@@ -42,12 +47,23 @@ func DefaultEncodeWorkers(n int) int { return DefaultDecodeWorkers(n) }
 // workers <= 1 (or n <= 1) everything runs inline on the caller's
 // goroutine, which is the sequential reference path.
 func (b *BlockWriter) WriteBlocksParallel(n, workers int, meta func(i int) (rank, records uint32), encode func(i int, dst []byte) []byte) error {
+	return b.WriteBlocksParallelCtx(context.Background(), n, workers, meta, encode)
+}
+
+// WriteBlocksParallelCtx is WriteBlocksParallel under a context: when ctx
+// is cancelled, workers stop claiming blocks, the commit loop stops, and
+// ctx.Err() is latched on the BlockWriter and returned.
+func (b *BlockWriter) WriteBlocksParallelCtx(ctx context.Context, n, workers int, meta func(i int) (rank, records uint32), encode func(i int, dst []byte) []byte) error {
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		var payload []byte
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				b.fail = err
+				return err
+			}
 			rank, records := meta(i)
 			payload = encode(i, payload[:0])
 			if err := b.WriteBlock(rank, records, payload); err != nil {
@@ -82,6 +98,8 @@ func (b *BlockWriter) WriteBlocksParallel(n, workers int, meta func(i int) (rank
 				case sem <- struct{}{}:
 				case <-abort:
 					return
+				case <-ctx.Done():
+					return
 				}
 				i := int(claim.Add(1))
 				if i >= n {
@@ -102,7 +120,18 @@ func (b *BlockWriter) WriteBlocksParallel(n, workers int, meta func(i int) (rank
 	}
 	var failErr error
 	for i := 0; i < n; i++ {
-		bp := <-results[i]
+		// Workers that exited on cancellation never fill their result
+		// channel, so the commit loop must watch ctx too or it wedges.
+		var bp *[]byte
+		select {
+		case bp = <-results[i]:
+		case <-ctx.Done():
+			failErr = ctx.Err()
+			b.fail = failErr
+		}
+		if failErr != nil {
+			break
+		}
 		rank, records := meta(i)
 		err := b.WriteBlock(rank, records, *bp)
 		pool.Put(bp)

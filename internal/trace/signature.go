@@ -1,0 +1,96 @@
+package trace
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"hash"
+	"io"
+)
+
+// Signature is a content hash of a trace: SHA-256 over the decoded
+// events, not the container bytes, so the v1 and v2 encodings of the
+// same trace share one signature. It keys the serving layer's
+// representative cache — two uploads with equal signatures are the same
+// trace regardless of which container they arrived in.
+type Signature [sha256.Size]byte
+
+// String returns the signature in lowercase hex.
+func (s Signature) String() string { return hex.EncodeToString(s[:]) }
+
+// IsZero reports whether s is the zero signature (no trace hashed).
+func (s Signature) IsZero() bool { return s == Signature{} }
+
+// ParseSignature parses the hex form produced by Signature.String.
+func ParseSignature(text string) (Signature, error) {
+	var s Signature
+	b, err := hex.DecodeString(text)
+	if err != nil {
+		return s, fmt.Errorf("trace: parsing signature: %w", err)
+	}
+	if len(b) != len(s) {
+		return s, fmt.Errorf("trace: signature is %d hex bytes, want %d", len(b), len(s))
+	}
+	copy(s[:], b)
+	return s, nil
+}
+
+// SignatureOf decodes the trace readable from r (either container
+// version) and returns its content signature. The hash covers the
+// workload name and every rank's events in rank order — name strings
+// rather than name-table ids, so table layout differences between
+// encodings cannot change the signature.
+func SignatureOf(r io.Reader) (Signature, error) {
+	return SignatureOfWith(r, DecoderOptions{})
+}
+
+// SignatureOfWith is SignatureOf with explicit decoder options (worker
+// count, allocation caps, cancellation).
+func SignatureOfWith(r io.Reader, opts DecoderOptions) (Signature, error) {
+	var sig Signature
+	d, err := NewDecoderWith(r, opts)
+	if err != nil {
+		return sig, err
+	}
+	defer d.Close()
+	h := sha256.New()
+	hashString(h, d.Name())
+	hashU64(h, uint64(d.NumRanks()))
+	for {
+		rt, err := d.NextRank()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return sig, err
+		}
+		hashU64(h, uint64(rt.Rank))
+		hashU64(h, uint64(len(rt.Events)))
+		for _, e := range rt.Events {
+			hashString(h, e.Name)
+			hashU64(h, uint64(e.Kind))
+			hashU64(h, uint64(e.Enter))
+			hashU64(h, uint64(e.Exit))
+			hashU64(h, uint64(uint32(e.Peer)))
+			hashU64(h, uint64(uint32(e.Tag)))
+			hashU64(h, uint64(e.Bytes))
+			hashU64(h, uint64(uint32(e.Root)))
+		}
+	}
+	h.Sum(sig[:0])
+	return sig, nil
+}
+
+// hashString writes a length-prefixed string into h, so adjacent
+// strings cannot collide by shifting bytes between them.
+func hashString(h hash.Hash, s string) {
+	hashU64(h, uint64(len(s)))
+	io.WriteString(h, s)
+}
+
+func hashU64(h hash.Hash, v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	h.Write(b[:])
+}

@@ -60,8 +60,15 @@ func (f Format) String() string {
 // DecoderOptions tunes version-aware trace reading; the zero value is
 // ready to use. Workers bounds the block-decode pool for v2 containers
 // on random-access inputs (0 means GOMAXPROCS); v1 containers decode
-// sequentially regardless.
+// sequentially regardless. Ctx cancels an in-flight decode; Limits
+// tightens the hostile-input allocation caps for untrusted inputs.
 type DecoderOptions = trace.DecoderOptions
+
+// DecodeLimits bound what a decoder accepts from a container header
+// before the body proves the bytes exist; the zero value keeps the
+// library's historical caps. Servers decoding uploads lower them to
+// enforce per-tenant budgets.
+type DecodeLimits = trace.DecodeLimits
 
 // EncoderOptions tunes version-aware trace writing; the zero value is
 // ready to use. Workers bounds the block-encode pool for v2 containers
@@ -158,10 +165,24 @@ func ReduceStreamToWriter(d *TraceDecoder, m Method, w io.Writer, f Format) (*Re
 // ReduceStreamToWriterMode is ReduceStreamToWriter under an explicit
 // MatchMode.
 func ReduceStreamToWriterMode(d *TraceDecoder, m Method, mode MatchMode, w io.Writer, f Format) (*ReduceStreamStats, error) {
+	return ReduceStreamToWriterOpts(d, m, w, f, StreamOptions{Mode: mode})
+}
+
+// StreamOptions configure the pipelined reduce-to-writer path: match
+// mode, worker-pool bound (0 means GOMAXPROCS; the bytes written are
+// identical at every setting), and a cancellation context. The zero
+// value is the exact-scan default.
+type StreamOptions = core.StreamOptions
+
+// ReduceStreamToWriterOpts is ReduceStreamToWriter with explicit
+// options, the form the serving layer uses to bound each session's
+// share of the worker fleet and to stop the pipeline when a client
+// disconnects.
+func ReduceStreamToWriterOpts(d *TraceDecoder, m Method, w io.Writer, f Format, opts StreamOptions) (*ReduceStreamStats, error) {
 	switch f {
 	case FormatV1, FormatV2:
 	default:
 		return nil, fmt.Errorf("tracered: unknown reduced format %v", f)
 	}
-	return core.ReduceStreamToWriterMode(d.Name(), m, mode, d.NextRank, w, int(f))
+	return core.ReduceStreamToWriterOpts(d.Name(), m, d.NextRank, w, int(f), opts)
 }

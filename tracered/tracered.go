@@ -246,6 +246,25 @@ func GenerateWorkload(name string) (*Trace, error) {
 	return w.Generate()
 }
 
+// Signature is a content hash of a trace: SHA-256 over the decoded
+// events rather than the container bytes, so the v1 and v2 encodings of
+// the same trace share one signature.
+type Signature = trace.Signature
+
+// ParseSignature parses the hex form produced by Signature.String.
+func ParseSignature(s string) (Signature, error) { return trace.ParseSignature(s) }
+
+// TraceSignature decodes the trace readable from r (either container
+// version) and returns its content signature — the key the serving
+// layer's representative cache is addressed by.
+func TraceSignature(r io.Reader) (Signature, error) { return trace.SignatureOf(r) }
+
+// TraceSignatureWith is TraceSignature with explicit decoder options
+// (worker count, allocation caps, cancellation).
+func TraceSignatureWith(r io.Reader, opts DecoderOptions) (Signature, error) {
+	return trace.SignatureOfWith(r, opts)
+}
+
 // WriteTrace stores a trace in the binary trace format.
 func WriteTrace(w io.Writer, t *Trace) error { return trace.Encode(w, t) }
 
