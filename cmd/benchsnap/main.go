@@ -68,9 +68,13 @@ type Snapshot struct {
 	GoVersion   string `json:"go_version"`
 	GOOS        string `json:"goos"`
 	GOARCH      string `json:"goarch"`
-	Classes     int    `json:"classes"`
-	Candidates  int    `json:"candidates"`
-	Rows        []Row  `json:"rows"`
+	// GOMAXPROCS records the measuring machine's parallelism: scan rows
+	// are single-threaded either way, but reduce rows and cross-machine
+	// comparisons need it to be interpretable.
+	GOMAXPROCS int   `json:"gomaxprocs"`
+	Classes    int   `json:"classes"`
+	Candidates int   `json:"candidates"`
+	Rows       []Row `json:"rows"`
 }
 
 func main() {
@@ -143,6 +147,7 @@ func measure(classes, candidates int) (*Snapshot, error) {
 		GoVersion:   runtime.Version(),
 		GOOS:        runtime.GOOS,
 		GOARCH:      runtime.GOARCH,
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
 		Classes:     classes,
 		Candidates:  candidates,
 	}

@@ -27,9 +27,11 @@
 // byte-identical to reducing in memory and encoding afterwards. With
 // -verify the tool re-reads the full trace,
 // reconstructs, and reports the approximation distance and trend
-// retention, the remaining two criteria. -cpuprofile/-memprofile write
-// standard pprof profiles of the run, the measurement hooks for matcher
-// and engine work.
+// retention, the remaining two criteria.
+// -cpuprofile/-memprofile/-mutexprofile/-blockprofile write standard
+// pprof profiles of the run, the measurement hooks for matcher and
+// engine work (the mutex and block profiles expose pipeline turnstile
+// and semaphore waits).
 package main
 
 import (
@@ -51,6 +53,8 @@ func main() {
 	verify := flag.Bool("verify", false, "also reconstruct and score error/trend retention")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the reduction to `file`")
 	memprofile := flag.String("memprofile", "", "write a heap profile taken after the reduction to `file`")
+	mutexprofile := flag.String("mutexprofile", "", "write a mutex-contention profile of the reduction to `file`")
+	blockprofile := flag.String("blockprofile", "", "write a blocking (channel/semaphore wait) profile to `file`")
 	flag.Parse()
 
 	if *in == "" {
@@ -75,7 +79,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "tracereduce:", err)
 		os.Exit(2)
 	}
-	stopProf, err := profiling.Start(*cpuprofile, *memprofile)
+	stopProf, err := profiling.StartProfiles(profiling.Profiles{
+		CPU: *cpuprofile, Mem: *memprofile, Mutex: *mutexprofile, Block: *blockprofile,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tracereduce:", err)
 		os.Exit(1)

@@ -19,6 +19,11 @@
 // On SIGINT/SIGTERM the server drains: health flips to 503, new
 // sessions are refused, in-flight reductions finish, then the process
 // exits 0. See docs/SERVICE.md for the full API and semantics.
+//
+// -cpuprofile/-memprofile/-mutexprofile/-blockprofile write standard
+// pprof profiles spanning the server's lifetime (flushed at shutdown);
+// reduce sessions and pipeline workers carry pprof labels, so per-tenant
+// and per-stage costs separate cleanly in the CPU profile.
 package main
 
 import (
@@ -32,6 +37,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/profiling"
 	"repro/internal/serve"
 )
 
@@ -44,6 +50,10 @@ func main() {
 	cacheMB := flag.Int64("cache-mb", 0, "representative cache budget in MiB (0 = default 256, negative disables)")
 	degradeAt := flag.Float64("degrade-at", 0, "load fraction at which new sessions degrade (0 = default 0.75)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight sessions on shutdown")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the server's lifetime to `file`")
+	memprofile := flag.String("memprofile", "", "write a heap profile taken at shutdown to `file`")
+	mutexprofile := flag.String("mutexprofile", "", "write a mutex-contention profile (fleet/cache locks) to `file`")
+	blockprofile := flag.String("blockprofile", "", "write a blocking profile (fleet waits, pipeline turnstiles) to `file`")
 	flag.Parse()
 
 	cfg := serve.Config{
@@ -57,8 +67,22 @@ func main() {
 	if *cacheMB < 0 {
 		cfg.CacheBytes = -1
 	}
-	if err := run(*addr, cfg, *drainTimeout); err != nil {
+	stopProf, err := profiling.StartProfiles(profiling.Profiles{
+		CPU: *cpuprofile, Mem: *memprofile, Mutex: *mutexprofile, Block: *blockprofile,
+	})
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "tracereduced:", err)
+		os.Exit(1)
+	}
+	runErr := run(*addr, cfg, *drainTimeout)
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "tracereduced:", runErr)
+	}
+	if err := stopProf(); err != nil {
+		fmt.Fprintln(os.Stderr, "tracereduced:", err)
+		os.Exit(1)
+	}
+	if runErr != nil {
 		os.Exit(1)
 	}
 }

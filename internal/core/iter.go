@@ -22,11 +22,11 @@ func NewIterK(k int) (Policy, error) {
 
 func (p *iterK) Name() string { return "iter_k" }
 
-// Prepare is a no-op: iter_k matches on instance counts, not
+// Prepare only clears cs: iter_k matches on instance counts, not
 // measurements.
-func (p *iterK) Prepare(*segment.Segment) RepState { return nil }
+func (p *iterK) Prepare(_ *segment.Segment, cs *RepState) { cs.reset() }
 
-func (p *iterK) Match(cls *Class, _ *segment.Segment, _ RepState) int {
+func (p *iterK) Match(cls *Class, _ *segment.Segment, _ *RepState) int {
 	if cls.Len() >= p.k {
 		return cls.Len() - 1
 	}
@@ -44,10 +44,11 @@ func NewIterAvg() Policy { return iterAvg{} }
 
 func (iterAvg) Name() string { return "iter_avg" }
 
-// Prepare is a no-op: iter_avg always matches the single representative.
-func (iterAvg) Prepare(*segment.Segment) RepState { return nil }
+// Prepare only clears cs: iter_avg always matches the single
+// representative.
+func (iterAvg) Prepare(_ *segment.Segment, cs *RepState) { cs.reset() }
 
-func (iterAvg) Match(cls *Class, _ *segment.Segment, _ RepState) int {
+func (iterAvg) Match(cls *Class, _ *segment.Segment, _ *RepState) int {
 	if cls.Len() > 0 {
 		return 0
 	}

@@ -6,10 +6,11 @@ import (
 
 // LSH parameters. Each class keeps lshTables independent hash tables of
 // lshBits-bit random-hyperplane signatures over the prepared wavelet
-// transform vectors. A candidate scans only the representatives that
-// share a full signature with it in at least one table, so the expected
-// scan cost is the hashing work (lshTables × lshBits dot products) plus
-// a handful of verified near neighbours, independent of class size.
+// transform rows of the class slab. A candidate scans only the
+// representatives that share a full signature with it in at least one
+// table, so the expected scan cost is the hashing work (lshTables ×
+// lshBits dot products) plus a handful of verified near neighbours,
+// independent of class size.
 //
 // Two transforms within the match threshold of each other subtend a
 // small angle, so each hyperplane separates them with low probability;
@@ -55,32 +56,34 @@ func lshPlanes(dim int) [][]float64 {
 }
 
 // lshIndex is the IndexedClass for the wavelet policies: bucketed
-// random-hyperplane signatures over the prepared transform vectors.
+// random-hyperplane signatures over the slab's prepared transform rows.
+// Vectors are read out of the class slab at use time (rows may relocate
+// as the slab grows), so the index owns no vector storage of its own.
 type lshIndex struct {
-	cls     *Class
-	bound   func(candMaxAbs, repMaxAbs float64) float64
-	dist    func(a, b []float64) float64
-	repVec  func(cls *Class, i int) ([]float64, float64)
-	candVec func(cand *segment.Segment, cs RepState) ([]float64, float64)
+	cls   *Class
+	bound func(candMaxAbs, repMaxAbs float64) float64
+	dist  func(a, b []float64) float64
 
 	dim     int // transform length, fixed per class; 0 until first Add
 	planes  [][]float64
 	buckets [lshTables]map[uint16][]int32
-	// center is the first representative's vector. Signatures hash the
-	// offset from it, not the raw vector: class members share large
-	// common components (the wavelet DC coefficient above all), and raw
-	// dot products are dominated by that shared part, pushing every
-	// member to the same side of most hyperplanes — one giant bucket.
-	// Offsets from a fixed member cancel the common structure, so signs
-	// spread by what actually differs; nearby vectors still land in the
-	// same bucket because their offsets are nearly equal.
-	center []float64
 
 	scratch []int32   // reusable candidate-collection buffer
 	cvec    []float64 // reusable centered-vector buffer
 	seen    []uint32  // per-representative visit epoch, for sort-free dedup
 	epoch   uint32
 }
+
+// center is the first representative's slab row. Signatures hash the
+// offset from it, not the raw vector: class members share large common
+// components (the wavelet DC coefficient above all), and raw dot
+// products are dominated by that shared part, pushing every member to
+// the same side of most hyperplanes — one giant bucket. Offsets from a
+// fixed member cancel the common structure, so signs spread by what
+// actually differs; nearby vectors still land in the same bucket because
+// their offsets are nearly equal. The wavelet policies never mutate
+// representatives, so row 0's values are stable across the class's life.
+func (x *lshIndex) center() []float64 { return x.cls.Row(0) }
 
 // signature computes the table-th hash code of an already-centered
 // vector (vec minus the class center).
@@ -106,8 +109,9 @@ func (x *lshIndex) centered(vec []float64) []float64 {
 		x.cvec = make([]float64, len(vec))
 	}
 	c := x.cvec[:len(vec)]
+	center := x.center()
 	for d, v := range vec {
-		c[d] = v - x.center[d]
+		c[d] = v - center[d]
 	}
 	return c
 }
@@ -117,11 +121,10 @@ func (x *lshIndex) centered(vec []float64) []float64 {
 // one padded transform length, so the hyperplanes are sized lazily from
 // the first representative.
 func (x *lshIndex) Add(i int) {
-	vec, _ := x.repVec(x.cls, i)
+	vec := x.cls.Row(i)
 	if x.planes == nil {
 		x.dim = len(vec)
 		x.planes = lshPlanes(x.dim)
-		x.center = vec // first representative; stable across the class's life
 		for t := range x.buckets {
 			x.buckets[t] = make(map[uint16][]int32)
 		}
@@ -142,22 +145,19 @@ func (x *lshIndex) Add(i int) {
 // array rather than sorting: skewed buckets can surface the same
 // representative from all four tables, and sorting the raw union was the
 // dominant scan cost.
-func (x *lshIndex) Search(cand *segment.Segment, cs RepState) int {
+func (x *lshIndex) Search(cand *segment.Segment, cs *RepState) int {
 	if x.planes == nil {
 		return -1
 	}
-	vec, candMaxAbs := x.candVec(cand, cs)
+	vec, candMaxAbs := cs.Vec, cs.MaxAbs
 	// The class center is representative 0's vector, so a candidate
 	// matching representative 0 has a near-zero offset whose hyperplane
 	// signs are noise — hashing would miss it systematically. Stored
 	// representatives are mutually non-matching, so representative 0 is
 	// the only one a near-zero offset can match: verify it directly.
 	// It is also the lowest index, so a hit here is the first match.
-	{
-		rvec, rmax := x.repVec(x.cls, 0)
-		if x.dist(vec, rvec) <= x.bound(candMaxAbs, rmax) {
-			return 0
-		}
+	if x.dist(vec, x.cls.Row(0)) <= x.bound(candMaxAbs, x.cls.maxAbs[0]) {
+		return 0
 	}
 	cvec := x.centered(vec)
 	found := x.scratch[:0]
@@ -184,8 +184,7 @@ func (x *lshIndex) Search(cand *segment.Segment, cs RepState) int {
 			continue
 		}
 		x.seen[i] = x.epoch
-		rvec, rmax := x.repVec(x.cls, int(i))
-		if x.dist(vec, rvec) <= x.bound(candMaxAbs, rmax) {
+		if x.dist(vec, x.cls.Row(int(i))) <= x.bound(candMaxAbs, x.cls.maxAbs[i]) {
 			best = i
 		}
 	}
@@ -197,7 +196,6 @@ func (x *lshIndex) Search(cand *segment.Segment, cs RepState) int {
 func (x *lshIndex) Rebuild() {
 	x.planes = nil
 	x.dim = 0
-	x.center = nil
 	for i, n := 0, x.cls.Len(); i < n; i++ {
 		x.Add(i)
 	}

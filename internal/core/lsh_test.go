@@ -7,20 +7,18 @@ import (
 	"repro/internal/wavelet"
 )
 
-// lshTestClass builds a Class whose representatives carry prepared
-// waveStates over the given transform vectors, plus the lshIndex over it
-// — the shape the wavelet policies hand to the matcher.
+// lshTestClass builds a Class whose slab rows hold the given transform
+// vectors, plus the lshIndex over it — the shape the wavelet policies
+// hand to the matcher.
 func lshTestClass(threshold float64, vecs [][]float64) (*Class, *lshIndex) {
 	cls := &Class{}
 	for i, v := range vecs {
-		cls.add(nil, i, &waveState{tr: v, maxAbs: maxAbsOf(v)})
+		cls.add(nil, i, &RepState{Vec: v, MaxAbs: maxAbsOf(v)})
 	}
 	x := &lshIndex{
-		cls:     cls,
-		dist:    wavelet.Euclidean,
-		bound:   pairMaxBound(threshold),
-		repVec:  waveRepVec,
-		candVec: waveCandVec,
+		cls:   cls,
+		dist:  wavelet.Euclidean,
+		bound: pairMaxBound(threshold),
 	}
 	for i := range vecs {
 		x.Add(i)
@@ -86,12 +84,12 @@ func TestLSHRecall(t *testing.T) {
 			t.Fatalf("query %d: construction failed to produce a true match", q)
 		}
 		total++
-		got := x.Search(nil, &waveState{tr: query, maxAbs: maxAbsOf(query)})
+		got := x.Search(nil, &RepState{Vec: query, MaxAbs: maxAbsOf(query)})
 		if got >= 0 {
 			found++
 			// Whatever LSH returns must itself pass the acceptance test:
 			// hashing narrows the scan, verification stays exact.
-			rv, rm := waveRepVec(x.cls, got)
+			rv, rm := x.cls.Row(got), x.cls.maxAbs[got]
 			if d, b := wavelet.Euclidean(query, rv), x.bound(maxAbsOf(query), rm); d > b {
 				t.Fatalf("query %d: returned rep %d at distance %g outside bound %g", q, got, d, b)
 			}
@@ -112,11 +110,11 @@ func TestLSHNoFalseAccepts(t *testing.T) {
 	_, x := lshTestClass(0.01, reps) // tiny ball: distinct stamps never match
 	queries := lshStampVectors(200, 8, 0x0123456789abcdef)
 	for q, query := range queries {
-		got := x.Search(nil, &waveState{tr: query, maxAbs: maxAbsOf(query)})
+		got := x.Search(nil, &RepState{Vec: query, MaxAbs: maxAbsOf(query)})
 		if got < 0 {
 			continue
 		}
-		rv, rm := waveRepVec(x.cls, got)
+		rv, rm := x.cls.Row(got), x.cls.maxAbs[got]
 		if d, b := wavelet.Euclidean(query, rv), x.bound(maxAbsOf(query), rm); d > b {
 			t.Fatalf("query %d: accepted rep %d at distance %g > bound %g", q, got, d, b)
 		}
@@ -132,7 +130,7 @@ func TestLSHDeterminism(t *testing.T) {
 	_, x2 := lshTestClass(0.15, reps)
 	queries := lshStampVectors(150, 16, 0xfaceb00c)
 	for q, query := range queries {
-		cs := &waveState{tr: query, maxAbs: maxAbsOf(query)}
+		cs := &RepState{Vec: query, MaxAbs: maxAbsOf(query)}
 		if g1, g2 := x1.Search(nil, cs), x2.Search(nil, cs); g1 != g2 {
 			t.Fatalf("query %d: index 1 returned %d, index 2 returned %d", q, g1, g2)
 		}
@@ -140,7 +138,7 @@ func TestLSHDeterminism(t *testing.T) {
 	// Rebuild must reproduce the same hashing as incremental Adds.
 	x1.Rebuild()
 	for q, query := range queries {
-		cs := &waveState{tr: query, maxAbs: maxAbsOf(query)}
+		cs := &RepState{Vec: query, MaxAbs: maxAbsOf(query)}
 		if g1, g2 := x1.Search(nil, cs), x2.Search(nil, cs); g1 != g2 {
 			t.Fatalf("query %d after Rebuild: %d vs %d", q, g1, g2)
 		}
@@ -153,9 +151,9 @@ func TestLSHSearchAllocFree(t *testing.T) {
 	reps := lshStampVectors(300, 16, 0xabad1dea)
 	_, x := lshTestClass(0.2, reps)
 	queries := lshStampVectors(64, 16, 0x600dcafe)
-	states := make([]*waveState, len(queries))
+	states := make([]*RepState, len(queries))
 	for i, q := range queries {
-		states[i] = &waveState{tr: q, maxAbs: maxAbsOf(q)}
+		states[i] = &RepState{Vec: q, MaxAbs: maxAbsOf(q)}
 	}
 	x.Search(nil, states[0]) // warm the scratch buffer
 	q := 0

@@ -10,6 +10,16 @@ import (
 // per-representative state and their indices into the owning
 // RankReduced.Stored slice.
 //
+// The prepared state lives in a contiguous structure-of-arrays slab:
+// data is a growable row-major matrix holding each representative's
+// prepared vector (padded to the class row width), and norm/maxAbs are
+// the parallel pruning columns. The scan kernels (kernels.go) and the
+// approximate indexes read rows straight out of the slab — no
+// per-representative slice allocations, no pointer chasing. Counting
+// policies (iter_k, iter_avg, sample_n) prepare empty vectors and their
+// classes carry no rows. Comparable segments have equal measurement
+// counts, so every member of a class produces the same vector width.
+//
 // A Class is built incrementally by a Matcher: the first kept segment of
 // the group becomes its prototype, and every later member was verified
 // Comparable with that prototype when it was inserted. Comparability is
@@ -18,10 +28,17 @@ import (
 // the prototype is Comparable with every member, and policies never need
 // to re-check it.
 type Class struct {
-	proto  *segment.Segment
-	segs   []*segment.Segment
-	states []RepState
-	ids    []int
+	proto *segment.Segment
+	segs  []*segment.Segment
+	ids   []int
+	// The state slab: row i of the width-wide row-major data matrix is
+	// representative i's prepared vector; norm[i]/maxAbs[i] are its
+	// pruning scalars. Grown by append, so rows may relocate — readers
+	// (kernels, indexes) fetch rows at use time via Row, never hold them.
+	width  int
+	data   []float64
+	norm   []float64
+	maxAbs []float64
 	// index is the class's sublinear search structure under an
 	// approximate MatchMode, nil in exact mode and for policies with no
 	// index for the active mode (which keep the linear scan).
@@ -34,35 +51,59 @@ func (c *Class) Len() int { return len(c.segs) }
 // Rep returns the i-th representative in collection order.
 func (c *Class) Rep(i int) *segment.Segment { return c.segs[i] }
 
-// State returns the prepared state of the i-th representative, as
-// returned by the policy's Prepare at insertion (or re-Prepare after a
-// mutating Absorb). It is nil for policies that prepare no state.
-func (c *Class) State(i int) RepState { return c.states[i] }
+// Rows returns the number of slab rows (equal to Len for vector
+// policies, 0 for counting policies).
+func (c *Class) Rows() int { return len(c.norm) }
+
+// Row returns the i-th representative's prepared vector — a view into
+// the slab, valid only until the next insertion grows it.
+func (c *Class) Row(i int) []float64 { return c.data[i*c.width : (i+1)*c.width] }
 
 // StoredID returns the i-th representative's index in the owning
 // RankReduced.Stored slice.
 func (c *Class) StoredID(i int) int { return c.ids[i] }
 
-// add appends a representative to the class.
-func (c *Class) add(rep *segment.Segment, id int, state RepState) {
+// add appends a representative to the class, copying cs's vector and
+// pruning scalars into the slab (policies with no vector add no row).
+func (c *Class) add(rep *segment.Segment, id int, cs *RepState) {
 	c.segs = append(c.segs, rep)
-	c.states = append(c.states, state)
 	c.ids = append(c.ids, id)
+	if cs == nil || len(cs.Vec) == 0 {
+		return
+	}
+	if c.width == 0 {
+		c.width = len(cs.Vec)
+	}
+	c.data = append(c.data, cs.Vec...)
+	c.norm = append(c.norm, cs.Norm)
+	c.maxAbs = append(c.maxAbs, cs.MaxAbs)
+}
+
+// setRow overwrites representative i's slab row after a mutating Absorb
+// re-prepared it. No-op for classes without rows.
+func (c *Class) setRow(i int, cs *RepState) {
+	if len(c.norm) == 0 || len(cs.Vec) == 0 {
+		return
+	}
+	copy(c.data[i*c.width:(i+1)*c.width], cs.Vec)
+	c.norm[i] = cs.Norm
+	c.maxAbs[i] = cs.MaxAbs
 }
 
 // Matcher is the indexed pattern-class matcher at the heart of the
 // reduction engine: it buckets stored representatives by signature,
 // partitions each bucket into comparability Classes at insertion time
 // (defending against signature collisions once per class instead of
-// once per comparison), and caches each representative's prepared state
-// so the policy's derived data — transformed wavelet vectors, Minkowski
-// norms, max-abs values — is computed once at storage time rather than
-// on every scan.
+// once per comparison), and keeps each representative's prepared state
+// in its class's contiguous slab — transformed wavelet vectors,
+// Minkowski norms, max-abs values — computed once at storage time rather
+// than on every scan.
 //
 // Under an approximate MatchMode the matcher additionally attaches a
 // sublinear IndexedClass (VP-tree or LSH buckets) to every class whose
 // policy supports the mode, and Scan searches the index instead of
-// running the policy's linear Match.
+// running the policy's linear Match. The indexes reference slab rows in
+// place rather than owning vector copies.
 //
 // A Matcher indexes one rank's representatives and is not safe for
 // concurrent use; the engine runs one per RankReducer.
@@ -76,6 +117,10 @@ type Matcher struct {
 	// order. Almost every bucket holds exactly one class; extras appear
 	// only on signature collisions between non-comparable segments.
 	buckets map[segment.Signature][]*Class
+	// scratch is the single candidate RepState the matcher reuses for
+	// every Scan, keeping the steady-state hot path allocation-free. Its
+	// contents are valid until the next Prepare into it.
+	scratch RepState
 }
 
 // indexMinClassSize is the class size below which approximate modes
@@ -113,22 +158,24 @@ func (m *Matcher) Mode() MatchMode { return m.mode }
 
 // Scan locates cand's comparability class and searches it — through the
 // class's sublinear index in approximate modes, through the policy's
-// first-match scan otherwise — for a matching representative. cls is nil
-// when cand has no comparable predecessor (a new pattern class); idx is
-// -1 when the class exists but no stored representative matches. cs is
-// the candidate's prepared state, computed once per scanned segment and
-// reusable by Insert when the candidate is kept; the empty-bucket
+// fused slab kernel otherwise — for a matching representative. cls is
+// nil when cand has no comparable predecessor (a new pattern class); idx
+// is -1 when the class exists but no stored representative matches. cs
+// is the candidate's prepared state (a view of the matcher's reusable
+// scratch, valid until the next Scan), computed once per scanned segment
+// and reusable by Insert when the candidate is kept; the empty-bucket
 // short-circuit returns before any Prepare work, so candidates of a new
 // signature (the common case on irregular workloads) cost one hash
 // lookup, and the kept clone is prepared at insertion instead.
-func (m *Matcher) Scan(cand *segment.Segment) (cls *Class, idx int, cs RepState) {
+func (m *Matcher) Scan(cand *segment.Segment) (cls *Class, idx int, cs *RepState) {
 	classes := m.buckets[cand.Sig()]
 	if len(classes) == 0 {
 		return nil, -1, nil
 	}
 	for _, c := range classes {
 		if c.proto.Comparable(cand) {
-			cs = m.policy.Prepare(cand)
+			cs = &m.scratch
+			m.policy.Prepare(cand, cs)
 			if c.index != nil && c.Len() >= indexMinClassSize {
 				return c, c.index.Search(cand, cs), cs
 			}
@@ -145,9 +192,10 @@ func (m *Matcher) Scan(cand *segment.Segment) (cls *Class, idx int, cs RepState)
 // signature, and a nil cs (no class existed, so the candidate was never
 // prepared) is computed here. rep must have the same measurements as the
 // scanned candidate, so the candidate's prepared state carries over.
-func (m *Matcher) Insert(cls *Class, rep *segment.Segment, id int, cs RepState) {
+func (m *Matcher) Insert(cls *Class, rep *segment.Segment, id int, cs *RepState) {
 	if cs == nil {
-		cs = m.policy.Prepare(rep)
+		cs = &m.scratch
+		m.policy.Prepare(rep, cs)
 	}
 	if cls == nil {
 		cls = &Class{proto: rep}
@@ -172,11 +220,12 @@ func (m *Matcher) Insert(cls *Class, rep *segment.Segment, id int, cs RepState) 
 
 // Absorb folds cand into the class's i-th representative via the policy
 // and, when the policy reports it mutated the representative's
-// measurements (iter_avg's running average), re-prepares the cached
-// state so later scans see the updated derived data.
+// measurements (iter_avg's running average), re-prepares the slab row so
+// later scans see the updated derived data.
 func (m *Matcher) Absorb(cls *Class, i int, cand *segment.Segment) {
 	if m.policy.Absorb(cls.segs[i], cand) {
-		cls.states[i] = m.policy.Prepare(cls.segs[i])
+		m.policy.Prepare(cls.segs[i], &m.scratch)
+		cls.setRow(i, &m.scratch)
 		if cls.index != nil && cls.Len() >= indexMinClassSize {
 			cls.index.Rebuild()
 		}

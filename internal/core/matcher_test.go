@@ -26,9 +26,9 @@ func refMatch(name string, threshold float64, a, b *segment.Segment) bool {
 	va, vb := a.Meas(), b.Meas()
 	switch name {
 	case "relDiff":
-		return relDiffMatch(threshold, va, vb)
+		return refRelDiff(threshold, va, vb)
 	case "absDiff":
-		return absDiffMatch(threshold, va, vb)
+		return refAbsDiff(threshold, va, vb)
 	case "manhattan":
 		return refMinkowski(threshold, 1, va, vb)
 	case "euclidean":
@@ -43,6 +43,43 @@ func refMatch(name string, threshold float64, a, b *segment.Segment) bool {
 		return refWave(threshold, true, a, b)
 	}
 	panic("refMatch: unknown method " + name)
+}
+
+// refRelDiff and refAbsDiff are the pre-matcher (and pre-slab-kernel)
+// pairwise predicates, retained verbatim as the decision reference the
+// fused batch kernels are pinned to.
+func refRelDiff(t float64, va, vb []float64) bool {
+	for i := range va {
+		x, y := va[i], vb[i]
+		d := math.Abs(x - y)
+		if d == 0 {
+			continue
+		}
+		m := math.Max(math.Abs(x), math.Abs(y))
+		if d/m > t {
+			return false
+		}
+	}
+	return true
+}
+
+func refAbsDiff(t float64, va, vb []float64) bool {
+	for i := range va {
+		if math.Abs(va[i]-vb[i]) > t {
+			return false
+		}
+	}
+	return true
+}
+
+// refPadStamps lays a measurement vector [end, stamps...] out as the
+// zero-padded stamp vector [0, stamps..., end, 0...] of length n, the
+// pre-matcher engine's transform input layout.
+func refPadStamps(meas []float64, n int) []float64 {
+	p := make([]float64, n)
+	copy(p[1:], meas[1:])
+	p[len(meas)] = meas[0]
+	return p
 }
 
 // refMinkowski is the pre-matcher minkowskiMatch: distance and the
@@ -88,8 +125,8 @@ func refWave(t float64, haar bool, a, b *segment.Segment) bool {
 	if m := wavelet.NextPow2(len(mb) + 1); m > n {
 		n = m
 	}
-	pa := padStamps(ma, n)
-	pb := padStamps(mb, n)
+	pa := refPadStamps(ma, n)
+	pb := refPadStamps(mb, n)
 	var ta, tb []float64
 	if haar {
 		ta, tb = wavelet.Haar(pa), wavelet.Haar(pb)

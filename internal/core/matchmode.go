@@ -92,7 +92,7 @@ type IndexedClass interface {
 	// the candidate matches — near-first rather than strictly first in
 	// collection order — or -1 when none matches. cs is the candidate's
 	// prepared state from Policy.Prepare.
-	Search(cand *segment.Segment, cs RepState) int
+	Search(cand *segment.Segment, cs *RepState) int
 	// Rebuild re-indexes the whole class after representative state
 	// changed in place (a mutating Absorb re-Prepared a member).
 	Rebuild()

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 
 	"repro/internal/trace"
@@ -119,6 +121,13 @@ type StreamOptions struct {
 	// waiters are released, and ctx.Err() is returned. nil means
 	// context.Background().
 	Ctx context.Context
+	// Recycle, when non-nil, receives each rank back as soon as its
+	// events have been split into segments (the reducer copies what it
+	// keeps), letting the trace decoder reuse the event storage for a
+	// later rank. Wire it to trace.Decoder.Recycle to bound a session's
+	// event allocation at O(workers) buffers however many ranks stream
+	// through. Must be safe for concurrent calls from the worker pool.
+	Recycle func(*trace.RankTrace)
 }
 
 // ReduceStreamToWriterOpts is ReduceStreamToWriterMode with an explicit
@@ -186,7 +195,14 @@ func ReduceStreamToWriterOpts(name string, p Policy, next func() (*trace.RankTra
 	var wg sync.WaitGroup
 	for wkr := 0; wkr < workers; wkr++ {
 		wg.Add(1)
-		go func() {
+		// Label the worker goroutines so CPU profiles split pipeline time
+		// by stage and method instead of lumping it under one anonymous
+		// function (tracereduce -cpuprofile, tracereduced -cpuprofile).
+		go pprof.Do(ctx, pprof.Labels(
+			"subsystem", "reduce-pipeline",
+			"method", p.Name(),
+			"worker", strconv.Itoa(wkr),
+		), func(context.Context) {
 			defer wg.Done()
 			for {
 				srcMu.Lock()
@@ -212,6 +228,11 @@ func ReduceStreamToWriterOpts(name string, p Policy, next func() (*trace.RankTra
 				if err := r.FeedEvents(rt.Rank, rt.Events); err != nil {
 					fail(fmt.Errorf("trace %q: %w", name, err))
 					return
+				}
+				// The reducer copied everything it keeps out of rt.Events,
+				// so the rank's storage can go back to the decoder now.
+				if opts.Recycle != nil {
+					opts.Recycle(rt)
 				}
 				rr := r.Finish()
 				// Every claimed index takes its registration turn unless
@@ -253,7 +274,7 @@ func ReduceStreamToWriterOpts(name string, p Policy, next func() (*trace.RankTra
 				stats.StoredSegments += len(rr.Stored)
 				outMu.Unlock()
 			}
-		}()
+		})
 	}
 	wg.Wait()
 	if firstErr != nil {

@@ -18,8 +18,29 @@ import (
 // RepState is a policy's prepared, policy-specific derived state for one
 // segment: whatever the policy wants computed once — at storage time for
 // representatives, once per incoming segment for candidates — instead of
-// on every pairwise comparison. Policies that need none return nil.
-type RepState any
+// on every pairwise comparison. Prepare fills it in place so the matcher
+// can reuse one scratch instance for every scanned candidate; the slab in
+// Class copies the contents at insertion, so a filled RepState is valid
+// only until the next Prepare into it.
+//
+// Vec is the vector the policy matches on (the zero-padded measurement
+// vector for the pairwise and Minkowski policies, the transformed stamp
+// vector for the wavelets, empty for the counting policies), Norm the
+// policy's pruning norm over Vec, and MaxAbs the largest absolute value
+// in Vec.
+type RepState struct {
+	Vec    []float64
+	Norm   float64
+	MaxAbs float64
+	tmp    []float64 // wavelet transform scratch, reused across Prepares
+}
+
+// reset empties the state for policies that keep no vector.
+func (cs *RepState) reset() {
+	cs.Vec = cs.Vec[:0]
+	cs.Norm = 0
+	cs.MaxAbs = 0
+}
 
 // Policy decides whether a new segment matches one of the stored
 // representatives of its pattern class. The matcher guarantees that
@@ -29,29 +50,21 @@ type RepState any
 type Policy interface {
 	// Name returns the method's canonical name (e.g. "relDiff").
 	Name() string
-	// Prepare computes the derived matching state for a segment. The
+	// Prepare computes the derived matching state for a segment into cs,
+	// overwriting (and reusing the storage of) whatever cs held. The
 	// matcher calls it once per stored representative (at insertion, and
 	// again after a mutating Absorb) and once per scanned candidate,
 	// then hands the results back to Match.
-	Prepare(seg *segment.Segment) RepState
+	Prepare(seg *segment.Segment, cs *RepState)
 	// Match returns the index within cls of the first representative
 	// cand matches, or -1 for no match. cls holds, in collection order,
 	// the representatives already kept for cand's pattern class; cs is
 	// cand's own Prepare result.
-	Match(cls *Class, cand *segment.Segment, cs RepState) int
+	Match(cls *Class, cand *segment.Segment, cs *RepState) int
 	// Absorb folds cand into the matched representative, reporting
 	// whether it mutated the representative's measurements (only
 	// iter_avg does; the matcher re-Prepares mutated representatives).
 	Absorb(matched *segment.Segment, cand *segment.Segment) bool
-}
-
-// measState is the prepared state of the pairwise and Minkowski-family
-// policies: the measurement vector's largest absolute value and (for the
-// Minkowski family) its order-m norm, the two scalars the scan's
-// lower-bound pruning compares before running a full distance loop.
-type measState struct {
-	maxAbs float64
-	norm   float64
 }
 
 // pruneMargin is the conservative relative slack the lower-bound pruning
@@ -82,27 +95,27 @@ func maxAbsOf(v []float64) float64 {
 	return m
 }
 
-// measRepVec and measCandVec extract the vector and max-abs the
-// measurement-space policies (absDiff, Minkowski family) match on, for
-// the approximate indexes.
-func measRepVec(cls *Class, i int) ([]float64, float64) {
-	return cls.Rep(i).Meas(), cls.State(i).(*measState).maxAbs
-}
+// pad4 rounds a vector length up to a multiple of four, the kernel
+// unroll width. The pad slots are zero in both the slab rows and the
+// candidate vector, and zero-against-zero coordinates are neutral for
+// every policy's test (|0−0| = 0 contributes nothing to any Minkowski
+// sum or max, and relDiff/absDiff accept a zero difference outright), so
+// padded decisions are bit-identical to unpadded ones.
+func pad4(n int) int { return (n + 3) &^ 3 }
 
-func measCandVec(cand *segment.Segment, cs RepState) ([]float64, float64) {
-	return cand.Meas(), cs.(*measState).maxAbs
-}
-
-// waveRepVec and waveCandVec extract the prepared transform the wavelet
-// policies match on.
-func waveRepVec(cls *Class, i int) ([]float64, float64) {
-	st := cls.State(i).(*waveState)
-	return st.tr, st.maxAbs
-}
-
-func waveCandVec(_ *segment.Segment, cs RepState) ([]float64, float64) {
-	st := cs.(*waveState)
-	return st.tr, st.maxAbs
+// prepareMeas fills cs with the measurement-space state shared by the
+// pairwise and Minkowski policies: the candidate's measurement vector
+// zero-padded to the kernel width, plus its max-abs. It never touches
+// the segment's cached Meas (which allocates); the vector is built into
+// cs.Vec's storage so steady-state Prepare is allocation-free.
+func prepareMeas(seg *segment.Segment, cs *RepState) {
+	v := seg.Measurements(cs.Vec[:0])
+	for n := pad4(len(v)); len(v) < n; {
+		v = append(v, 0)
+	}
+	cs.Vec = v
+	cs.MaxAbs = maxAbsOf(v)
+	cs.Norm = 0
 }
 
 // pairMaxBound returns the acceptance-radius function dist ≤ t ×
@@ -125,76 +138,27 @@ type relDiffPolicy struct{ threshold float64 }
 
 func (p *relDiffPolicy) Name() string { return "relDiff" }
 
-func (p *relDiffPolicy) Prepare(seg *segment.Segment) RepState {
-	return &measState{maxAbs: maxAbsOf(seg.Meas())}
+func (p *relDiffPolicy) Prepare(seg *segment.Segment, cs *RepState) {
+	prepareMeas(seg, cs)
 }
 
-func (p *relDiffPolicy) Match(cls *Class, cand *segment.Segment, cs RepState) int {
-	c := cs.(*measState)
-	vb := cand.Meas()
-	// Prune: a match forces every paired measurement within a factor of
-	// (1−t), in particular at the coordinate holding either vector's
-	// max-abs, so the two max-abs values must be within that factor of
-	// each other. factor ≤ 0 (t ≥ 1) disables pruning, as does a
-	// degenerate negative threshold, where factor > 1 would wrongly
-	// prune the identical vectors relDiffMatch still accepts.
-	factor := 1 - p.threshold - pruneMargin
-	if p.threshold < 0 {
-		factor = 0
-	}
-	for i, n := 0, cls.Len(); i < n; i++ {
-		r := cls.State(i).(*measState)
-		if factor > 0 && (c.maxAbs < factor*r.maxAbs || r.maxAbs < factor*c.maxAbs) {
-			continue
-		}
-		if relDiffMatch(p.threshold, cls.Rep(i).Meas(), vb) {
-			return i
-		}
-	}
-	return -1
+func (p *relDiffPolicy) Match(cls *Class, cand *segment.Segment, cs *RepState) int {
+	return cls.scanRelDiff(p.threshold, cs)
 }
 
 func (p *relDiffPolicy) Absorb(*segment.Segment, *segment.Segment) bool { return false }
-
-func relDiffMatch(t float64, va, vb []float64) bool {
-	for i := range va {
-		x, y := va[i], vb[i]
-		d := math.Abs(x - y)
-		if d == 0 {
-			continue
-		}
-		m := math.Max(math.Abs(x), math.Abs(y))
-		if d/m > t {
-			return false
-		}
-	}
-	return true
-}
 
 // absDiff allows a fixed absolute difference per paired measurement.
 type absDiffPolicy struct{ threshold float64 }
 
 func (p *absDiffPolicy) Name() string { return "absDiff" }
 
-func (p *absDiffPolicy) Prepare(seg *segment.Segment) RepState {
-	return &measState{maxAbs: maxAbsOf(seg.Meas())}
+func (p *absDiffPolicy) Prepare(seg *segment.Segment, cs *RepState) {
+	prepareMeas(seg, cs)
 }
 
-func (p *absDiffPolicy) Match(cls *Class, cand *segment.Segment, cs RepState) int {
-	c := cs.(*measState)
-	vb := cand.Meas()
-	for i, n := 0, cls.Len(); i < n; i++ {
-		r := cls.State(i).(*measState)
-		// Prune: the sup-norm reverse triangle inequality bounds the
-		// max-abs gap by the largest per-measurement difference.
-		if lb := math.Abs(r.maxAbs - c.maxAbs); pruned(lb, p.threshold) {
-			continue
-		}
-		if absDiffMatch(p.threshold, cls.Rep(i).Meas(), vb) {
-			return i
-		}
-	}
-	return -1
+func (p *absDiffPolicy) Match(cls *Class, cand *segment.Segment, cs *RepState) int {
+	return cls.scanAbsDiff(p.threshold, cs)
 }
 
 func (p *absDiffPolicy) Absorb(*segment.Segment, *segment.Segment) bool { return false }
@@ -211,23 +175,12 @@ func (p *absDiffPolicy) NewClassIndex(mode MatchMode, cls *Class) IndexedClass {
 	}
 	t := p.threshold
 	return &vpIndex{
-		cls: cls,
 		tree: newVPTree(
+			cls,
 			func(a, b []float64) float64 { return minkowskiDist(0, a, b) },
 			func(_, _ float64) float64 { return t },
 		),
-		repVec:  measRepVec,
-		candVec: measCandVec,
 	}
-}
-
-func absDiffMatch(t float64, va, vb []float64) bool {
-	for i := range va {
-		if math.Abs(va[i]-vb[i]) > t {
-			return false
-		}
-	}
-	return true
 }
 
 // minkowskiPolicy computes the order-m Minkowski distance between the
@@ -242,58 +195,46 @@ type minkowskiPolicy struct {
 
 func (p *minkowskiPolicy) Name() string { return p.name }
 
-func (p *minkowskiPolicy) Prepare(seg *segment.Segment) RepState {
-	v := seg.Meas()
-	return &measState{maxAbs: maxAbsOf(v), norm: minkowskiNorm(p.m, v)}
+func (p *minkowskiPolicy) Prepare(seg *segment.Segment, cs *RepState) {
+	prepareMeas(seg, cs)
+	cs.Norm = minkowskiNorm(p.m, cs.Vec)
 }
 
-func (p *minkowskiPolicy) Match(cls *Class, cand *segment.Segment, cs RepState) int {
-	c := cs.(*measState)
-	vb := cand.Meas()
-	for i, n := 0, cls.Len(); i < n; i++ {
-		r := cls.State(i).(*measState)
-		maxVal := c.maxAbs
-		if r.maxAbs > maxVal {
-			maxVal = r.maxAbs
-		}
-		bound := p.threshold * maxVal
-		// Prune: the reverse triangle inequality gives
-		// dist(a, b) ≥ |‖a‖ − ‖b‖| for every Minkowski order.
-		if lb := math.Abs(r.norm - c.norm); pruned(lb, bound) {
-			continue
-		}
-		if minkowskiDist(p.m, cls.Rep(i).Meas(), vb) <= bound {
-			return i
-		}
+func (p *minkowskiPolicy) Match(cls *Class, cand *segment.Segment, cs *RepState) int {
+	switch p.m {
+	case 0:
+		return cls.scanLinf(p.threshold, cs)
+	case 1:
+		return cls.scanL1(p.threshold, cs)
+	case 2:
+		return cls.scanL2(p.threshold, cs)
 	}
-	return -1
+	return cls.scanLm(p.m, p.threshold, cs)
 }
 
 func (p *minkowskiPolicy) Absorb(*segment.Segment, *segment.Segment) bool { return false }
 
-// NewClassIndex builds the Minkowski family's VP-tree over the raw
-// measurement vectors. Every order-m distance (m >= 1, plus the
-// Chebyshev limit) satisfies the triangle inequality, and the pairwise
-// acceptance radius t × max(maxAbs) is handled by the tree's
-// subtree-maximum pruning. Chebyshev (m = 0) gets the tree only on
-// explicit request, not auto: max-of-differences distances concentrate
-// in a narrow band (one large component dominates regardless of the
-// rest), so |d(cand, vp) − mu| rarely exceeds the acceptance radius and
-// the tree descends nearly everywhere while paying node overhead the
-// plain scan doesn't (BENCH_matcher.json records the gap).
+// NewClassIndex builds the Minkowski family's VP-tree over the slab's
+// measurement rows. Every order-m distance (m >= 1, plus the Chebyshev
+// limit) satisfies the triangle inequality, and the pairwise acceptance
+// radius t × max(maxAbs) is handled by the tree's subtree-maximum
+// pruning. Chebyshev (m = 0) gets the tree only on explicit request, not
+// auto: max-of-differences distances concentrate in a narrow band (one
+// large component dominates regardless of the rest), so
+// |d(cand, vp) − mu| rarely exceeds the acceptance radius and the tree
+// descends nearly everywhere while paying node overhead the plain scan
+// doesn't (BENCH_matcher.json records the gap).
 func (p *minkowskiPolicy) NewClassIndex(mode MatchMode, cls *Class) IndexedClass {
 	if mode != MatchModeVPTree && !(mode == MatchModeAuto && p.m != 0) {
 		return nil
 	}
 	m := p.m
 	return &vpIndex{
-		cls: cls,
 		tree: newVPTree(
+			cls,
 			func(a, b []float64) float64 { return minkowskiDist(m, a, b) },
 			pairMaxBound(p.threshold),
 		),
-		repVec:  measRepVec,
-		candVec: measCandVec,
 	}
 }
 
@@ -352,16 +293,6 @@ func minkowskiNorm(m int, v []float64) float64 {
 	return n
 }
 
-// waveState is the prepared state of the wavelet policies: the
-// transformed, zero-padded stamp vector — the expensive per-comparison
-// computation of the pre-matcher engine, now done once per segment —
-// with its Euclidean norm and max-abs for pruning and threshold scaling.
-type waveState struct {
-	tr     []float64
-	norm   float64
-	maxAbs float64
-}
-
 // wavePolicy transforms both stamp vectors (zero-padded to a power of
 // two) and accepts when the Euclidean distance between the transforms is
 // at most threshold × the largest value in the pair of transformed
@@ -374,86 +305,62 @@ type wavePolicy struct {
 
 func (p *wavePolicy) Name() string { return p.name }
 
-func (p *wavePolicy) Prepare(seg *segment.Segment) RepState {
-	// The stamp vector is a rotation of the cached measurement vector —
-	// [0, enters/exits..., end] vs [end, enters/exits...] — so build the
-	// zero-padded transform input straight from Meas without a
-	// StampVector allocation. The padded length depends only on the
-	// segment's own event count, and Comparable segments have equal
-	// event counts, so every in-class comparison sees equal-length
-	// transforms — the same lengths the pre-matcher engine used.
-	meas := seg.Meas()
-	tr := padStamps(meas, wavelet.NextPow2(len(meas)+1))
+func (p *wavePolicy) Prepare(seg *segment.Segment, cs *RepState) {
+	// The stamp vector [0, enters/exits..., end] is laid out directly
+	// from the segment's events into cs.Vec and zero-padded to the next
+	// power of two before transforming in place — no StampVector or Meas
+	// allocation. The padded length depends only on the segment's own
+	// event count, and Comparable segments have equal event counts, so
+	// every in-class comparison sees equal-length transforms — the same
+	// lengths the pre-matcher engine used. The width is NOT rounded to
+	// the kernel unroll (pad4): the LSH index seeds its hyperplanes from
+	// the vector dimension, so the transform width must stay exactly
+	// what the pre-slab engine produced.
+	n := wavelet.NextPow2(seg.NumMeasurements() + 1)
+	v := seg.StampVector(cs.Vec[:0])
+	for len(v) < n {
+		v = append(v, 0)
+	}
+	if cap(cs.tmp) < n {
+		cs.tmp = make([]float64, n)
+	}
 	if p.haar {
-		wavelet.HaarInPlace(tr)
+		wavelet.HaarInPlaceScratch(v, cs.tmp[:n])
 	} else {
-		wavelet.AverageInPlace(tr)
+		wavelet.AverageInPlaceScratch(v, cs.tmp[:n])
 	}
 	var sum float64
-	for _, x := range tr {
+	for _, x := range v {
 		sum += x * x
 	}
-	return &waveState{tr: tr, norm: math.Sqrt(sum), maxAbs: maxAbsOf(tr)}
+	cs.Vec = v
+	cs.Norm = math.Sqrt(sum)
+	cs.MaxAbs = maxAbsOf(v)
 }
 
-func (p *wavePolicy) Match(cls *Class, cand *segment.Segment, cs RepState) int {
-	c := cs.(*waveState)
-	for i, n := 0, cls.Len(); i < n; i++ {
-		r := cls.State(i).(*waveState)
-		maxVal := c.maxAbs
-		if r.maxAbs > maxVal {
-			maxVal = r.maxAbs
-		}
-		bound := p.threshold * maxVal
-		// Prune: Euclidean distance between the transforms is bounded
-		// below by the gap between their norms.
-		if lb := math.Abs(r.norm - c.norm); pruned(lb, bound) {
-			continue
-		}
-		if wavelet.Euclidean(r.tr, c.tr) <= bound {
-			return i
-		}
-	}
-	return -1
+func (p *wavePolicy) Match(cls *Class, cand *segment.Segment, cs *RepState) int {
+	// Wavelet matching is the L2 rule over the prepared transforms, so
+	// it shares the Euclidean slab kernel.
+	return cls.scanL2(p.threshold, cs)
 }
 
 func (p *wavePolicy) Absorb(*segment.Segment, *segment.Segment) bool { return false }
 
 // NewClassIndex builds the wavelet policies' index: random-hyperplane
-// LSH buckets over the prepared transform vectors under MatchModeLSH
-// (and auto, where hashing beats tree descent because a scan then costs
-// no distance computations at all on clean misses), or a VP-tree under
+// LSH buckets over the slab's transform rows under MatchModeLSH (and
+// auto, where hashing beats tree descent because a scan then costs no
+// distance computations at all on clean misses), or a VP-tree under
 // MatchModeVPTree — Euclidean distance between transforms is a metric,
 // so the tree search loses no matches.
 func (p *wavePolicy) NewClassIndex(mode MatchMode, cls *Class) IndexedClass {
 	bound := pairMaxBound(p.threshold)
 	switch mode {
 	case MatchModeVPTree:
-		return &vpIndex{
-			cls:     cls,
-			tree:    newVPTree(wavelet.Euclidean, bound),
-			repVec:  waveRepVec,
-			candVec: waveCandVec,
-		}
+		return &vpIndex{tree: newVPTree(cls, wavelet.Euclidean, bound)}
 	case MatchModeLSH, MatchModeAuto:
-		return &lshIndex{
-			cls:     cls,
-			dist:    wavelet.Euclidean,
-			bound:   bound,
-			repVec:  waveRepVec,
-			candVec: waveCandVec,
-		}
+		return &lshIndex{cls: cls, dist: wavelet.Euclidean, bound: bound}
 	}
 	return nil
-}
-
-// padStamps lays a measurement vector [end, stamps...] out as the
-// zero-padded stamp vector [0, stamps..., end, 0...] of length n.
-func padStamps(meas []float64, n int) []float64 {
-	p := make([]float64, n)
-	copy(p[1:], meas[1:])
-	p[len(meas)] = meas[0]
-	return p
 }
 
 // NewRelDiff returns the relative-difference policy with the given

@@ -36,10 +36,14 @@ func s2() *segment.Segment { return figure2Segment(49, 1, 17, 18, 48) }
 // as the matcher would.
 func scanMatch(p Policy, stored []*segment.Segment, cand *segment.Segment) int {
 	cls := &Class{}
+	var rs RepState
 	for i, s := range stored {
-		cls.add(s, i, p.Prepare(s))
+		p.Prepare(s, &rs)
+		cls.add(s, i, &rs)
 	}
-	return p.Match(cls, cand, p.Prepare(cand))
+	var cs RepState
+	p.Prepare(cand, &cs)
+	return p.Match(cls, cand, &cs)
 }
 
 // matchOne runs a policy against a single stored candidate.

@@ -27,15 +27,15 @@ func NewSampleN(n int) (Policy, error) {
 
 func (p *sampleN) Name() string { return "sample_n" }
 
-// Prepare is a no-op: sampling matches on instance counts, not
+// Prepare only clears cs: sampling matches on instance counts, not
 // measurements.
-func (p *sampleN) Prepare(*segment.Segment) RepState { return nil }
+func (p *sampleN) Prepare(_ *segment.Segment, cs *RepState) { cs.reset() }
 
 // Match consults the per-class instance count encoded in the stored
 // representatives' weights: the class has seen sum(Weight) instances so
 // far; instance i is kept iff i ≡ 0 (mod n). Skipped instances match the
 // most recently kept representative.
-func (p *sampleN) Match(cls *Class, _ *segment.Segment, _ RepState) int {
+func (p *sampleN) Match(cls *Class, _ *segment.Segment, _ *RepState) int {
 	seen := 0
 	for i, n := 0, cls.Len(); i < n; i++ {
 		seen += cls.Rep(i).Weight

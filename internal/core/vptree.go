@@ -6,12 +6,19 @@ import (
 	"repro/internal/segment"
 )
 
-// vpTree is a vantage-point metric tree over the representative vectors
-// of one comparability class, answering "is any stored vector within its
-// acceptance ball of this candidate?" in sublinear time. It relies only
-// on dist being a metric (the triangle inequality), which holds for the
-// whole Minkowski family and for Euclidean distance between wavelet
+// vpTree is a vantage-point metric tree over the representative rows of
+// one comparability class's slab, answering "is any stored vector within
+// its acceptance ball of this candidate?" in sublinear time. It relies
+// only on dist being a metric (the triangle inequality), which holds for
+// the whole Minkowski family and for Euclidean distance between wavelet
 // transforms.
+//
+// The tree stores only item numbers: vectors and max-abs values are read
+// out of the class slab at use time (the slab is append-grown and rows
+// may relocate, so holding row slices across insertions would dangle).
+// Re-pointing the tree at the slab removes the per-item vector copies
+// the previous implementation kept and gives tree descents the same
+// cache locality as the linear kernels.
 //
 // The acceptance ball's radius is pairwise — bound(candMaxAbs,
 // repMaxAbs), e.g. threshold × the larger max-abs of the pair — so each
@@ -37,13 +44,13 @@ import (
 // retained across searches (and across rebuilds), keeping steady-state
 // scans allocation-free.
 type vpTree struct {
+	cls *Class
 	// dist is the metric between vectors; bound maps the candidate's and
 	// a representative's max-abs to the pair's acceptance radius.
 	dist  func(a, b []float64) float64
 	bound func(candMaxAbs, repMaxAbs float64) float64
 
-	vecs   [][]float64
-	maxAbs []float64
+	n int // items indexed so far (tree + pending)
 
 	nodes   []vpNode
 	root    int32
@@ -62,20 +69,32 @@ type vpNode struct {
 	subMaxAbs    float64 // max of maxAbs over the whole subtree
 }
 
-func newVPTree(dist func(a, b []float64) float64, bound func(candMaxAbs, repMaxAbs float64) float64) *vpTree {
-	return &vpTree{dist: dist, bound: bound, root: -1}
+func newVPTree(cls *Class, dist func(a, b []float64) float64, bound func(candMaxAbs, repMaxAbs float64) float64) *vpTree {
+	return &vpTree{cls: cls, dist: dist, bound: bound, root: -1}
 }
 
-// add indexes one more representative vector. The caller must keep vec
-// alive and unmodified (the tree stores the slice, not a copy).
-func (t *vpTree) add(vec []float64, maxAbs float64) {
-	t.vecs = append(t.vecs, vec)
-	t.maxAbs = append(t.maxAbs, maxAbs)
-	t.pending = append(t.pending, int32(len(t.vecs)-1))
-	inTree := len(t.vecs) - len(t.pending)
+// row and itemMaxAbs fetch an indexed item's vector and max-abs from the
+// slab at use time.
+func (t *vpTree) row(i int32) []float64      { return t.cls.Row(int(i)) }
+func (t *vpTree) itemMaxAbs(i int32) float64 { return t.cls.maxAbs[i] }
+
+// add indexes the class's i-th slab row.
+func (t *vpTree) add(i int) {
+	t.n++
+	t.pending = append(t.pending, int32(i))
+	inTree := t.n - len(t.pending)
 	if len(t.pending)*4 >= inTree+4 {
 		t.rebuild()
 	}
+}
+
+// reset empties the tree (keeping its pooled buffers) so every indexed
+// item can be re-added after representative state changed in place.
+func (t *vpTree) reset() {
+	t.n = 0
+	t.pending = t.pending[:0]
+	t.nodes = t.nodes[:0]
+	t.root = -1
 }
 
 // rebuild reconstructs the tree over every item and empties the pending
@@ -84,7 +103,7 @@ func (t *vpTree) rebuild() {
 	t.pending = t.pending[:0]
 	t.nodes = t.nodes[:0]
 	items := t.items[:0]
-	for i := range t.vecs {
+	for i := 0; i < t.n; i++ {
 		items = append(items, int32(i))
 	}
 	t.items = items
@@ -103,14 +122,14 @@ func (t *vpTree) build(items []int32) int32 {
 	vp := items[0]
 	rest := items[1:]
 	ni := int32(len(t.nodes))
-	t.nodes = append(t.nodes, vpNode{item: vp, inner: -1, outer: -1, subMaxAbs: t.maxAbs[vp]})
+	t.nodes = append(t.nodes, vpNode{item: vp, inner: -1, outer: -1, subMaxAbs: t.itemMaxAbs(vp)})
 	if len(rest) > 0 {
 		// Split the remaining items at the median distance from vp.
 		// Rebuilds are amortized O(log n) per item, so allocating the
 		// scratch here is fine; searches stay allocation-free.
 		dists := make([]float64, len(rest))
 		for j, it := range rest {
-			dists[j] = t.dist(t.vecs[vp], t.vecs[it])
+			dists[j] = t.dist(t.row(vp), t.row(it))
 		}
 		sorted := append([]float64(nil), dists...)
 		sort.Float64s(sorted)
@@ -154,8 +173,8 @@ func (t *vpTree) search(vec []float64, candMaxAbs float64) int {
 			ni := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
 			n := &t.nodes[ni]
-			d := t.dist(vec, t.vecs[n.item])
-			if d <= t.bound(candMaxAbs, t.maxAbs[n.item]) {
+			d := t.dist(vec, t.row(n.item))
+			if d <= t.bound(candMaxAbs, t.itemMaxAbs(n.item)) {
 				t.stack = stack
 				return int(n.item)
 			}
@@ -179,7 +198,7 @@ func (t *vpTree) search(vec []float64, candMaxAbs float64) int {
 		t.stack = stack
 	}
 	for _, it := range t.pending {
-		if t.dist(vec, t.vecs[it]) <= t.bound(candMaxAbs, t.maxAbs[it]) {
+		if t.dist(vec, t.row(it)) <= t.bound(candMaxAbs, t.itemMaxAbs(it)) {
 			return int(it)
 		}
 	}
@@ -187,34 +206,26 @@ func (t *vpTree) search(vec []float64, candMaxAbs float64) int {
 }
 
 // size returns the number of indexed items.
-func (t *vpTree) size() int { return len(t.vecs) }
+func (t *vpTree) size() int { return t.n }
 
-// vpIndex adapts a vpTree to the IndexedClass interface for one policy:
-// repVec/candVec extract the vector and max-abs the policy matches on
-// (raw measurements for the Minkowski family and absDiff, the prepared
-// transform for the wavelet methods).
+// vpIndex adapts a vpTree to the IndexedClass interface. The policies
+// all index the prepared slab rows (padded measurements for the
+// Minkowski family and absDiff, transforms for the wavelet methods), so
+// the candidate side is uniformly cs.Vec/cs.MaxAbs.
 type vpIndex struct {
-	cls     *Class
-	tree    *vpTree
-	repVec  func(cls *Class, i int) ([]float64, float64)
-	candVec func(cand *segment.Segment, cs RepState) ([]float64, float64)
+	tree *vpTree
 }
 
-func (x *vpIndex) Add(i int) {
-	v, m := x.repVec(x.cls, i)
-	x.tree.add(v, m)
-}
+func (x *vpIndex) Add(i int) { x.tree.add(i) }
 
-func (x *vpIndex) Search(cand *segment.Segment, cs RepState) int {
-	v, m := x.candVec(cand, cs)
-	return x.tree.search(v, m)
+func (x *vpIndex) Search(cand *segment.Segment, cs *RepState) int {
+	return x.tree.search(cs.Vec, cs.MaxAbs)
 }
 
 func (x *vpIndex) Rebuild() {
-	fresh := newVPTree(x.tree.dist, x.tree.bound)
-	fresh.stack = x.tree.stack // keep the pooled stack across rebuilds
-	x.tree = fresh
-	for i, n := 0, x.cls.Len(); i < n; i++ {
-		x.Add(i)
+	t := x.tree
+	t.reset()
+	for i, n := 0, t.cls.Len(); i < n; i++ {
+		t.add(i)
 	}
 }

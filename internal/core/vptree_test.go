@@ -34,6 +34,18 @@ func vpTestVectors(n, dim, k int, spread float64) [][]float64 {
 
 func euclid(a, b []float64) float64 { return minkowskiDist(2, a, b) }
 
+// vpTestTree builds an empty slab-backed Class and a vpTree over it.
+func vpTestTree(dist func(a, b []float64) float64, bound func(candMaxAbs, repMaxAbs float64) float64) (*Class, *vpTree) {
+	cls := &Class{}
+	return cls, newVPTree(cls, dist, bound)
+}
+
+// vpAdd appends vec as the class's next slab row and indexes it.
+func vpAdd(cls *Class, tr *vpTree, vec []float64) {
+	cls.add(nil, cls.Len(), &RepState{Vec: vec, MaxAbs: maxAbsOf(vec)})
+	tr.add(cls.Len() - 1)
+}
+
 // checkVPSubtree recursively verifies the structural invariants of a
 // subtree and returns (itemCount, subtreeMaxAbs, items seen).
 func checkVPSubtree(t *testing.T, tr *vpTree, ni int32, seen map[int32]bool) float64 {
@@ -43,7 +55,7 @@ func checkVPSubtree(t *testing.T, tr *vpTree, ni int32, seen map[int32]bool) flo
 		t.Fatalf("item %d indexed twice", n.item)
 	}
 	seen[n.item] = true
-	maxAbs := tr.maxAbs[n.item]
+	maxAbs := tr.itemMaxAbs(n.item)
 	check := func(child int32, inner bool) {
 		if child < 0 {
 			return
@@ -59,7 +71,7 @@ func checkVPSubtree(t *testing.T, tr *vpTree, ni int32, seen map[int32]bool) flo
 				return
 			}
 			c := &tr.nodes[ci]
-			d := tr.dist(tr.vecs[n.item], tr.vecs[c.item])
+			d := tr.dist(tr.row(n.item), tr.row(c.item))
 			if inner && d > n.mu {
 				t.Fatalf("inner item %d at distance %g > mu %g from vp %d", c.item, d, n.mu, n.item)
 			}
@@ -85,9 +97,9 @@ func checkVPSubtree(t *testing.T, tr *vpTree, ni int32, seen map[int32]bool) flo
 // mu of the vantage point, outer items beyond it, subtree max-abs exact.
 func TestVPTreeInvariants(t *testing.T) {
 	vecs := vpTestVectors(300, 6, 7, 40)
-	tr := newVPTree(euclid, pairMaxBound(0.2))
+	cls, tr := vpTestTree(euclid, pairMaxBound(0.2))
 	for i, v := range vecs {
-		tr.add(v, maxAbsOf(v))
+		vpAdd(cls, tr, v)
 		if tr.size() != i+1 {
 			t.Fatalf("size %d after %d adds", tr.size(), i+1)
 		}
@@ -122,9 +134,9 @@ func TestVPTreeSearchParity(t *testing.T) {
 	hits, misses := 0, 0
 	for _, threshold := range []float64{0.01, 0.05, 0.2, 0.8} {
 		bound := pairMaxBound(threshold)
-		tr := newVPTree(euclid, bound)
+		cls, tr := vpTestTree(euclid, bound)
 		for _, v := range vecs {
-			tr.add(v, maxAbsOf(v))
+			vpAdd(cls, tr, v)
 		}
 		for _, q := range queries {
 			qmax := maxAbsOf(q)
@@ -161,19 +173,19 @@ func TestVPTreeBoundaryPruning(t *testing.T) {
 	const threshold = 0.25
 	bound := pairMaxBound(threshold)
 	base := []float64{100, 40, 60, 80}
-	tr := newVPTree(euclid, bound)
+	cls, tr := vpTestTree(euclid, bound)
 	// Far decoys first so the boundary item sits deep in the tree.
 	for i := 0; i < 40; i++ {
 		v := append([]float64(nil), base...)
 		v[0] += 1e6 + float64(i)*1e5
-		tr.add(v, maxAbsOf(v))
+		vpAdd(cls, tr, v)
 	}
 	// The boundary item: perturbing a non-maximal coordinate keeps both
 	// max-abs values at 100, so the acceptance bound is exactly
 	// threshold*100 = 25 and the Euclidean distance is exactly 25 too.
 	onEdge := append([]float64(nil), base...)
 	onEdge[1] += threshold * 100
-	tr.add(onEdge, maxAbsOf(onEdge))
+	vpAdd(cls, tr, onEdge)
 	got := tr.search(base, maxAbsOf(base))
 	d := euclid(base, onEdge)
 	b := bound(maxAbsOf(base), maxAbsOf(onEdge))
@@ -181,7 +193,7 @@ func TestVPTreeBoundaryPruning(t *testing.T) {
 		t.Fatalf("boundary item within bound (%g <= %g) but search missed it", d, b)
 	}
 	if got >= 0 {
-		if dd, bb := euclid(base, tr.vecs[got]), bound(maxAbsOf(base), tr.maxAbs[got]); dd > bb {
+		if dd, bb := euclid(base, tr.cls.Row(got)), bound(maxAbsOf(base), tr.cls.maxAbs[got]); dd > bb {
 			t.Fatalf("search returned item outside bound: %g > %g", dd, bb)
 		}
 	}
@@ -191,9 +203,9 @@ func TestVPTreeBoundaryPruning(t *testing.T) {
 // tree is warm, searches allocate nothing.
 func TestVPTreeSearchAllocFree(t *testing.T) {
 	vecs := vpTestVectors(500, 6, 13, 50)
-	tr := newVPTree(euclid, pairMaxBound(0.1))
+	cls, tr := vpTestTree(euclid, pairMaxBound(0.1))
 	for _, v := range vecs {
-		tr.add(v, maxAbsOf(v))
+		vpAdd(cls, tr, v)
 	}
 	queries := vpTestVectors(64, 6, 13, 70)
 	q := 0
@@ -215,9 +227,9 @@ func TestVPTreeChebyshevFixedRadius(t *testing.T) {
 	queries := vpTestVectors(200, 4, 9, 45)
 	for _, radius := range []float64{5, 40, 200} {
 		cheb := func(a, b []float64) float64 { return minkowskiDist(0, a, b) }
-		tr := newVPTree(cheb, func(_, _ float64) float64 { return radius })
+		cls, tr := vpTestTree(cheb, func(_, _ float64) float64 { return radius })
 		for _, v := range vecs {
-			tr.add(v, maxAbsOf(v))
+			vpAdd(cls, tr, v)
 		}
 		for _, q := range queries {
 			brute := false
@@ -244,12 +256,12 @@ func TestVPTreeChebyshevFixedRadius(t *testing.T) {
 // first-match semantics.
 func TestVPTreeNearFirstOrder(t *testing.T) {
 	bound := pairMaxBound(0.5)
-	tr := newVPTree(euclid, bound)
+	cls, tr := vpTestTree(euclid, bound)
 	base := []float64{50, 20, 30}
 	for i := 0; i < 100; i++ {
 		v := append([]float64(nil), base...)
 		v[1] += float64(i % 3) // several items all match any near-base query
-		tr.add(v, maxAbsOf(v))
+		vpAdd(cls, tr, v)
 	}
 	got := tr.search(base, maxAbsOf(base))
 	if got != 0 {
@@ -261,12 +273,12 @@ func TestVPTreeNearFirstOrder(t *testing.T) {
 // split: every remaining item lands in the inner child, the recursion
 // must still terminate and searches still work.
 func TestVPTreeDegenerateEqualDistances(t *testing.T) {
-	tr := newVPTree(euclid, func(_, _ float64) float64 { return 0.5 })
+	cls, tr := vpTestTree(euclid, func(_, _ float64) float64 { return 0.5 })
 	// Items on a regular grid all at equal Chebyshev... use duplicates:
 	// identical vectors give zero distances everywhere.
 	v := []float64{10, 20, 30}
 	for i := 0; i < 65; i++ {
-		tr.add(v, maxAbsOf(v))
+		vpAdd(cls, tr, v)
 	}
 	if got := tr.search(v, maxAbsOf(v)); got != 0 {
 		t.Fatalf("search over duplicates returned %d, want 0", got)

@@ -1,6 +1,7 @@
 // Package profiling wires the standard runtime/pprof profile writers
 // into the CLI commands, so matcher and engine changes are measurable
-// with -cpuprofile/-memprofile flags instead of editing benchmark code.
+// with -cpuprofile/-memprofile/-mutexprofile/-blockprofile flags instead
+// of editing benchmark code.
 package profiling
 
 import (
@@ -10,15 +11,38 @@ import (
 	"runtime/pprof"
 )
 
+// Profiles names the output paths of the supported profile kinds; empty
+// paths are skipped.
+type Profiles struct {
+	// CPU receives a CPU profile covering Start..stop.
+	CPU string
+	// Mem receives the final live-heap profile at stop.
+	Mem string
+	// Mutex receives the contended-mutex profile at stop; requesting it
+	// sets runtime.SetMutexProfileFraction(1) for the run.
+	Mutex string
+	// Block receives the blocking profile (channel waits, semaphores) at
+	// stop; requesting it sets runtime.SetBlockProfileRate(1) for the run.
+	Block string
+}
+
 // Start begins CPU profiling to cpuPath (if non-empty) and arranges a
 // heap profile at memPath (if non-empty). It returns a stop function
 // that must be called exactly once, before the process exits, to flush
 // both profiles; with both paths empty, Start and the stop function are
 // no-ops.
 func Start(cpuPath, memPath string) (stop func() error, err error) {
+	return StartProfiles(Profiles{CPU: cpuPath, Mem: memPath})
+}
+
+// StartProfiles is Start over the full profile set. Mutex and block
+// profiling are enabled only when their paths are set — both add
+// per-event bookkeeping to the hot path, so the serve fleet and the
+// pipeline run unmetered unless a profile was asked for.
+func StartProfiles(p Profiles) (stop func() error, err error) {
 	var cpuFile *os.File
-	if cpuPath != "" {
-		cpuFile, err = os.Create(cpuPath)
+	if p.CPU != "" {
+		cpuFile, err = os.Create(p.CPU)
 		if err != nil {
 			return nil, fmt.Errorf("profiling: %w", err)
 		}
@@ -27,6 +51,12 @@ func Start(cpuPath, memPath string) (stop func() error, err error) {
 			return nil, fmt.Errorf("profiling: starting CPU profile: %w", err)
 		}
 	}
+	if p.Mutex != "" {
+		runtime.SetMutexProfileFraction(1)
+	}
+	if p.Block != "" {
+		runtime.SetBlockProfileRate(1)
+	}
 	return func() error {
 		if cpuFile != nil {
 			pprof.StopCPUProfile()
@@ -34,8 +64,8 @@ func Start(cpuPath, memPath string) (stop func() error, err error) {
 				return fmt.Errorf("profiling: closing CPU profile: %w", err)
 			}
 		}
-		if memPath != "" {
-			f, err := os.Create(memPath)
+		if p.Mem != "" {
+			f, err := os.Create(p.Mem)
 			if err != nil {
 				return fmt.Errorf("profiling: %w", err)
 			}
@@ -48,6 +78,36 @@ func Start(cpuPath, memPath string) (stop func() error, err error) {
 				return fmt.Errorf("profiling: closing heap profile: %w", err)
 			}
 		}
+		if err := writeLookup("mutex", p.Mutex); err != nil {
+			return err
+		}
+		if err := writeLookup("block", p.Block); err != nil {
+			return err
+		}
 		return nil
 	}, nil
+}
+
+// writeLookup dumps the named runtime profile to path (no-op when path
+// is empty).
+func writeLookup(name, path string) error {
+	if path == "" {
+		return nil
+	}
+	prof := pprof.Lookup(name)
+	if prof == nil {
+		return fmt.Errorf("profiling: unknown profile %q", name)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("profiling: %w", err)
+	}
+	if err := prof.WriteTo(f, 0); err != nil {
+		f.Close()
+		return fmt.Errorf("profiling: writing %s profile: %w", name, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("profiling: closing %s profile: %w", name, err)
+	}
+	return nil
 }

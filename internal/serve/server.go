@@ -2,12 +2,14 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"sync/atomic"
 	"time"
@@ -290,8 +292,19 @@ func (s *Server) handleReduce(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var out bytes.Buffer
-	stats, err := core.ReduceStreamToWriterOpts(dec.Name(), m, dec.NextRank, &out, params.format,
-		core.StreamOptions{Mode: params.mode, Workers: granted, Ctx: r.Context()})
+	var stats *core.StreamStats
+	// Label the session's reduce so fleet CPU profiles attribute time per
+	// tenant workload and method (tracereduced -cpuprofile); the pipeline
+	// workers add their own per-stage labels underneath.
+	pprof.Do(r.Context(), pprof.Labels(
+		"subsystem", "serve-session",
+		"workload", dec.Name(),
+		"method", params.method,
+		"mode", params.mode.String(),
+	), func(ctx context.Context) {
+		stats, err = core.ReduceStreamToWriterOpts(dec.Name(), m, dec.NextRank, &out, params.format,
+			core.StreamOptions{Mode: params.mode, Workers: granted, Ctx: ctx, Recycle: dec.Recycle})
+	})
 	dec.Close()
 	s.fleet.Release(granted)
 	if err != nil {

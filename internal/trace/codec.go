@@ -6,6 +6,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"sync"
 )
 
 // Binary trace file format (TRC1). The byte-level specification lives in
@@ -212,6 +213,64 @@ type Decoder struct {
 	version int
 	next    func() (*RankTrace, error)
 	close   func()
+	free    *eventFreeList
+}
+
+// eventFreeList recycles rank event buffers between a decoder and its
+// consumer: the consumer hands finished ranks back through
+// Decoder.Recycle, and the decoder's rank readers draw storage from the
+// list before allocating. The bound caps how many idle buffers the list
+// retains (O(workers) in-flight ranks plus a little slack), so the
+// recycling loop also acts as back-pressure on event storage: a session
+// that keeps up reuses the same few buffers forever.
+type eventFreeList struct {
+	mu   sync.Mutex
+	max  int
+	bufs [][]Event
+}
+
+func (f *eventFreeList) get() []Event {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if n := len(f.bufs); n > 0 {
+		b := f.bufs[n-1]
+		f.bufs[n-1] = nil
+		f.bufs = f.bufs[:n-1]
+		return b
+	}
+	return nil
+}
+
+func (f *eventFreeList) put(buf []Event) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if len(f.bufs) < f.max {
+		f.bufs = append(f.bufs, buf)
+	}
+}
+
+// newEventFreeList sizes a free list for a pool of workers consuming
+// ranks concurrently.
+func newEventFreeList(workers int) *eventFreeList {
+	return &eventFreeList{max: workers + 2}
+}
+
+// Recycle hands rt's event storage back to the decoder for reuse by a
+// later NextRank, clearing rt.Events. Callers that are done with a
+// rank's events — the reduction pipeline recycles each rank as soon as
+// its segments are split off — should call it instead of dropping the
+// slice, keeping per-session event storage bounded and reused. Safe to
+// call with nil or an already-recycled rank; safe from concurrent
+// consumers. The events themselves only reference name-table strings,
+// never decoder-owned byte buffers, so reuse cannot corrupt ranks still
+// in flight.
+func (d *Decoder) Recycle(rt *RankTrace) {
+	if rt == nil || cap(rt.Events) == 0 {
+		return
+	}
+	buf := rt.Events[:0]
+	rt.Events = nil
+	d.free.put(buf)
 }
 
 // DecoderOptions configure decoding. The zero value is the default.
@@ -321,7 +380,8 @@ func newV1Decoder(br *bufio.Reader, opts DecoderOptions) (*Decoder, error) {
 	if err != nil {
 		return nil, err
 	}
-	v1 := &v1decoder{br: br, names: names, nRanks: nRanks, ctx: opts.Ctx}
+	free := newEventFreeList(opts.Workers)
+	v1 := &v1decoder{br: br, names: names, nRanks: nRanks, ctx: opts.Ctx, free: free}
 	return &Decoder{
 		name:    name,
 		names:   names,
@@ -329,6 +389,7 @@ func newV1Decoder(br *bufio.Reader, opts DecoderOptions) (*Decoder, error) {
 		version: 1,
 		next:    v1.nextRank,
 		close:   func() {},
+		free:    free,
 	}, nil
 }
 
@@ -390,6 +451,8 @@ type v1decoder struct {
 	nRanks int
 	next   int
 	ctx    context.Context
+	free   *eventFreeList
+	rec    []byte
 }
 
 func (d *v1decoder) nextRank() (*RankTrace, error) {
@@ -412,13 +475,22 @@ func (d *v1decoder) nextRank() (*RankTrace, error) {
 	}
 	rt := &RankTrace{Rank: int(rank)}
 	if nEvents > 0 {
-		// Cap the upfront allocation: a hostile or corrupt header can
+		// Prefer a recycled buffer from the free list (a consumer that
+		// calls Decoder.Recycle keeps a few buffers circulating); otherwise
+		// cap the upfront allocation: a hostile or corrupt header can
 		// declare billions of events, but each one still costs
 		// EventRecordSize bytes of input, so growth-by-append bounds
 		// memory by the actual stream size.
-		rt.Events = make([]Event, 0, min(nEvents, 1<<16))
+		if buf := d.free.get(); buf != nil {
+			rt.Events = buf
+		} else {
+			rt.Events = make([]Event, 0, min(nEvents, 1<<16))
+		}
 	}
-	rec := make([]byte, EventRecordSize)
+	if d.rec == nil {
+		d.rec = make([]byte, EventRecordSize)
+	}
+	rec := d.rec
 	for j := uint32(0); j < nEvents; j++ {
 		if _, err := io.ReadFull(d.br, rec); err != nil {
 			return nil, fmt.Errorf("trace: rank %d event %d: %w", rank, j, err)

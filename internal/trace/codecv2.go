@@ -470,6 +470,13 @@ const minEventV2Size = 8
 // against the table. It returns nil for n == 0, matching the v1
 // decoder's shape for empty ranks.
 func ParseEventsV2(c *Cursor, names []string, n uint32) ([]Event, error) {
+	return ParseEventsV2Into(c, names, n, nil)
+}
+
+// ParseEventsV2Into is ParseEventsV2 writing into dst's storage (appended
+// from dst[:0]; grown as needed). Decoders pass recycled event buffers so
+// steady-state decodes reuse storage instead of allocating per rank.
+func ParseEventsV2Into(c *Cursor, names []string, n uint32, dst []Event) ([]Event, error) {
 	if n == 0 {
 		return nil, nil
 	}
@@ -479,7 +486,10 @@ func ParseEventsV2(c *Cursor, names []string, n uint32) ([]Event, error) {
 	if uint64(c.Len()) < uint64(n)*minEventV2Size {
 		return nil, fmt.Errorf("trace: %d events declared but only %d payload bytes remain", n, c.Len())
 	}
-	events := make([]Event, 0, n)
+	events := dst[:0]
+	if cap(events) == 0 {
+		events = make([]Event, 0, n)
+	}
 	var prev Time
 	for j := uint32(0); j < n; j++ {
 		nameID, err := c.Uvarint()
@@ -642,6 +652,9 @@ type v2parallelDecoder struct {
 	// hold name-table strings, never payload bytes, so a block's buffer
 	// is free for reuse as soon as its payload has been parsed.
 	bufs sync.Pool
+	// free recycles event buffers the consumer returns via
+	// Decoder.Recycle.
+	free *eventFreeList
 }
 
 func newV2ParallelDecoder(sr *io.SectionReader, opts DecoderOptions) (*Decoder, error) {
@@ -676,6 +689,7 @@ func newV2ParallelDecoder(sr *io.SectionReader, opts DecoderOptions) (*Decoder, 
 		sem:     make(chan struct{}, max(workers, 1)),
 		abort:   make(chan struct{}),
 		results: make([]chan v2blockResult, len(entries)),
+		free:    newEventFreeList(workers),
 	}
 	for i := range d.results {
 		d.results[i] = make(chan v2blockResult, 1)
@@ -688,6 +702,7 @@ func newV2ParallelDecoder(sr *io.SectionReader, opts DecoderOptions) (*Decoder, 
 		version: 2,
 		next:    d.nextRank,
 		close:   d.closeAbort,
+		free:    d.free,
 	}, nil
 }
 
@@ -730,7 +745,11 @@ func (d *v2parallelDecoder) decodeBlock(e BlockEntry) (*RankTrace, error) {
 		return nil, err
 	}
 	c := NewCursor(payload)
-	events, err := ParseEventsV2(c, d.names, e.Records)
+	var dst []Event
+	if e.Records > 0 {
+		dst = d.free.get()
+	}
+	events, err := ParseEventsV2Into(c, d.names, e.Records, dst)
 	if err == nil {
 		err = c.Done()
 	}
@@ -801,6 +820,7 @@ type v2sequentialDecoder struct {
 	observed []BlockEntry
 	checked  bool
 	ctx      context.Context
+	free     *eventFreeList
 }
 
 // newV2SequentialDecoder builds the sequential decoder; br wraps cr and
@@ -810,7 +830,8 @@ func newV2SequentialDecoder(cr *countingReader, br *bufio.Reader, opts DecoderOp
 	if err != nil {
 		return nil, err
 	}
-	d := &v2sequentialDecoder{cr: cr, br: br, names: names, nRanks: nRanks, ctx: opts.Ctx}
+	free := newEventFreeList(opts.Workers)
+	d := &v2sequentialDecoder{cr: cr, br: br, names: names, nRanks: nRanks, ctx: opts.Ctx, free: free}
 	return &Decoder{
 		name:    name,
 		names:   names,
@@ -818,6 +839,7 @@ func newV2SequentialDecoder(cr *countingReader, br *bufio.Reader, opts DecoderOp
 		version: 2,
 		next:    d.nextRank,
 		close:   func() {},
+		free:    free,
 	}, nil
 }
 
@@ -846,7 +868,11 @@ func (d *v2sequentialDecoder) nextRank() (*RankTrace, error) {
 	d.next++
 	d.observed = append(d.observed, e)
 	c := NewCursor(payload)
-	events, err := ParseEventsV2(c, d.names, e.Records)
+	var dst []Event
+	if e.Records > 0 {
+		dst = d.free.get()
+	}
+	events, err := ParseEventsV2Into(c, d.names, e.Records, dst)
 	if err != nil {
 		return nil, fmt.Errorf("trace: rank %d block: %w", e.Rank, err)
 	}

@@ -1,0 +1,128 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"reflect"
+	"testing"
+)
+
+// TestEventFreeListBounded: the free list retains at most max buffers
+// and hands back what it was given, newest first.
+func TestEventFreeListBounded(t *testing.T) {
+	f := newEventFreeList(1) // max = 3
+	if got := f.get(); got != nil {
+		t.Fatalf("get on empty list = %v, want nil", got)
+	}
+	for i := 0; i < 5; i++ {
+		f.put(make([]Event, 0, 4))
+	}
+	if len(f.bufs) != 3 {
+		t.Fatalf("free list kept %d buffers, want max 3", len(f.bufs))
+	}
+	for i := 0; i < 3; i++ {
+		if buf := f.get(); buf == nil || cap(buf) != 4 {
+			t.Fatalf("get %d = %v (cap %d), want recycled cap-4 buffer", i, buf, cap(buf))
+		}
+	}
+	if got := f.get(); got != nil {
+		t.Fatalf("get after draining = %v, want nil", got)
+	}
+}
+
+// TestDecoderRecycleSafety: Recycle tolerates nil ranks and ranks with
+// no event storage, on every decoder version.
+func TestDecoderRecycleSafety(t *testing.T) {
+	data := encodeV2Bytes(t, v2TestTrace())
+	d, err := NewDecoder(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("NewDecoder: %v", err)
+	}
+	defer d.Close()
+	d.Recycle(nil)
+	d.Recycle(&RankTrace{Rank: 1})
+	rt := &RankTrace{Rank: 2, Events: make([]Event, 3, 8)}
+	d.Recycle(rt)
+	if rt.Events != nil {
+		t.Errorf("Recycle left rt.Events = %v, want nil", rt.Events)
+	}
+	d.Recycle(rt) // second recycle of the same rank is a no-op
+}
+
+// TestDecodeWithRecycleParity: recycling each rank as soon as it is
+// consumed must not change what later NextRank calls return, on all
+// three decode paths (v1, v2 parallel, v2 sequential).
+func TestDecodeWithRecycleParity(t *testing.T) {
+	want := v2TestTrace()
+	var v1buf bytes.Buffer
+	if err := Encode(&v1buf, want); err != nil {
+		t.Fatal(err)
+	}
+	v2data := encodeV2Bytes(t, want)
+	for name, open := range map[string]func() io.Reader{
+		"v1":            func() io.Reader { return bytes.NewReader(v1buf.Bytes()) },
+		"v2-parallel":   func() io.Reader { return bytes.NewReader(v2data) },
+		"v2-sequential": func() io.Reader { return streamOnly{bytes.NewReader(v2data)} },
+	} {
+		d, err := NewDecoderWith(open(), DecoderOptions{Workers: 2})
+		if err != nil {
+			t.Fatalf("%s: NewDecoderWith: %v", name, err)
+		}
+		got := &Trace{Name: d.Name()}
+		for {
+			rt, err := d.NextRank()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatalf("%s: NextRank: %v", name, err)
+			}
+			// Deep-copy before recycling: the decoder may overwrite the
+			// storage for the next rank.
+			cp := RankTrace{Rank: rt.Rank, Events: append([]Event(nil), rt.Events...)}
+			if len(cp.Events) == 0 {
+				cp.Events = nil
+			}
+			got.Ranks = append(got.Ranks, cp)
+			d.Recycle(rt)
+		}
+		d.Close()
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("%s: decode with recycling differs:\nwant %+v\ngot  %+v", name, want, got)
+		}
+	}
+}
+
+// TestDecodeRecycleReusesStorage: on the sequential paths the next rank
+// must land in the storage just recycled, not a fresh allocation.
+func TestDecodeRecycleReusesStorage(t *testing.T) {
+	want := v2TestTrace()
+	var v1buf bytes.Buffer
+	if err := Encode(&v1buf, want); err != nil {
+		t.Fatal(err)
+	}
+	v2data := encodeV2Bytes(t, want)
+	for name, open := range map[string]func() io.Reader{
+		"v1":            func() io.Reader { return bytes.NewReader(v1buf.Bytes()) },
+		"v2-sequential": func() io.Reader { return streamOnly{bytes.NewReader(v2data)} },
+	} {
+		d, err := NewDecoderWith(open(), DecoderOptions{Workers: 1})
+		if err != nil {
+			t.Fatalf("%s: NewDecoderWith: %v", name, err)
+		}
+		first, err := d.NextRank()
+		if err != nil {
+			t.Fatalf("%s: NextRank: %v", name, err)
+		}
+		p0 := &first.Events[0]
+		d.Recycle(first)
+		second, err := d.NextRank()
+		if err != nil {
+			t.Fatalf("%s: NextRank 2: %v", name, err)
+		}
+		if &second.Events[0] != p0 {
+			t.Errorf("%s: second rank did not reuse the recycled buffer", name)
+		}
+		d.Close()
+	}
+}

@@ -51,7 +51,15 @@ func transform(v []float64, scale float64) {
 	if len(v) < 2 {
 		return
 	}
-	tmp := make([]float64, len(v))
+	transformScratch(v, make([]float64, len(v)), scale)
+}
+
+// transformScratch is transform with a caller-owned scratch buffer (len
+// >= len(v)), for hot paths that must not allocate.
+func transformScratch(v, tmp []float64, scale float64) {
+	if len(v) < 2 {
+		return
+	}
 	for n := len(v); n >= 2; n /= 2 {
 		step(v, tmp, n, scale)
 	}
@@ -82,6 +90,14 @@ func AverageInPlace(v []float64) { transform(v, 1) }
 // HaarInPlace applies the multi-level Haar transform to v, which must
 // already have power-of-two length.
 func HaarInPlace(v []float64) { transform(v, math.Sqrt2) }
+
+// AverageInPlaceScratch is AverageInPlace with a caller-owned scratch
+// buffer of len >= len(v), so repeated transforms can run allocation-free.
+func AverageInPlaceScratch(v, tmp []float64) { transformScratch(v, tmp, 1) }
+
+// HaarInPlaceScratch is HaarInPlace with a caller-owned scratch buffer of
+// len >= len(v).
+func HaarInPlaceScratch(v, tmp []float64) { transformScratch(v, tmp, math.Sqrt2) }
 
 // Euclidean returns the Euclidean (L2) distance between equal-length
 // vectors a and b. It panics if the lengths differ.

@@ -92,6 +92,76 @@ func TestVPTreeModeGridParity(t *testing.T) {
 	}
 }
 
+// TestAutoModeGridParity holds MatchModeAuto to the guarantee of
+// whichever structure it selects per method (core.IndexKind): methods
+// auto leaves on the exact scan must stay byte-identical to the plain
+// matcher, methods it routes to a VP-tree must be decision-identical
+// (equal counters, stored counts, and encoded sizes), and the
+// LSH-routed wavelet methods keep the only-weakens invariant — over the
+// full 20-workload × 9-method grid.
+func TestAutoModeGridParity(t *testing.T) {
+	for _, workload := range eval.AllNames() {
+		workload := workload
+		t.Run(workload, func(t *testing.T) {
+			full := parityTrace(t, workload)
+			for _, method := range core.MethodNames {
+				pRef, err := core.DefaultMethod(method)
+				if err != nil {
+					t.Fatal(err)
+				}
+				pAuto, err := core.DefaultMethod(method)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ref, err := core.Reduce(full, pRef)
+				if err != nil {
+					t.Fatalf("%s: Reduce: %v", method, err)
+				}
+				auto, err := core.ReduceMode(full, pAuto, core.MatchModeAuto)
+				if err != nil {
+					t.Fatalf("%s: ReduceMode(auto): %v", method, err)
+				}
+				if auto.TotalSegments != ref.TotalSegments {
+					t.Fatalf("%s: total %d vs %d", method, auto.TotalSegments, ref.TotalSegments)
+				}
+				if auto.PossibleMatches != ref.PossibleMatches {
+					t.Fatalf("%s: possible %d vs %d", method, auto.PossibleMatches, ref.PossibleMatches)
+				}
+				switch kind := core.IndexKind(pRef, core.MatchModeAuto); kind {
+				case "scan":
+					if auto.Matches != ref.Matches {
+						t.Fatalf("%s: auto matches %d vs exact %d", method, auto.Matches, ref.Matches)
+					}
+					if !bytes.Equal(encodeReduced(t, auto), encodeReduced(t, ref)) {
+						t.Fatalf("%s: auto-mode encoded reduction differs from Reduce", method)
+					}
+				case "vptree":
+					if auto.Matches != ref.Matches || auto.StoredSegments() != ref.StoredSegments() {
+						t.Fatalf("%s: auto (%d,%d) vs exact (%d,%d)", method,
+							auto.Matches, auto.StoredSegments(), ref.Matches, ref.StoredSegments())
+					}
+					if got, want := core.EncodedReducedSize(auto), core.EncodedReducedSize(ref); got != want {
+						t.Fatalf("%s: auto encoded size %d, exact %d", method, got, want)
+					}
+				case "lsh":
+					if auto.Matches > ref.Matches {
+						t.Fatalf("%s: auto matches %d exceed exact %d", method, auto.Matches, ref.Matches)
+					}
+					if auto.StoredSegments() < ref.StoredSegments() {
+						t.Fatalf("%s: auto stored %d below exact %d", method, auto.StoredSegments(), ref.StoredSegments())
+					}
+					if auto.Matches+auto.StoredSegments() != auto.TotalSegments {
+						t.Fatalf("%s: matches %d + stored %d != total %d", method,
+							auto.Matches, auto.StoredSegments(), auto.TotalSegments)
+					}
+				default:
+					t.Fatalf("%s: unknown index kind %q", method, kind)
+				}
+			}
+		})
+	}
+}
+
 // TestLSHModeGridInvariant holds the lsh matcher to its only-weakens
 // guarantee over the full grid: for every workload and wavelet method,
 // misses may add stored representatives but the counters stay

@@ -184,5 +184,11 @@ func ReduceStreamToWriterOpts(d *TraceDecoder, m Method, w io.Writer, f Format, 
 	default:
 		return nil, fmt.Errorf("tracered: unknown reduced format %v", f)
 	}
+	// The decoder owning the ranks is right here, so recycle event
+	// buffers back to it by default: steady-state event storage stays at
+	// O(workers) buffers however many ranks stream through.
+	if opts.Recycle == nil {
+		opts.Recycle = d.Recycle
+	}
 	return core.ReduceStreamToWriterOpts(d.Name(), m, d.NextRank, w, int(f), opts)
 }
